@@ -1,0 +1,34 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/cli.hpp"
+
+namespace qec::bench {
+
+/// Estimated expected defect count for a phenomenological run (empirical
+/// density ~= 4.9 p per check per layer; see DESIGN.md).
+inline double expected_defects(int distance, double p, int rounds) {
+  return 4.9 * p * distance * (distance - 1) * (rounds + 1);
+}
+
+/// MWPM decode cost grows ~cubically in the defect count; adapt the trial
+/// count so a single sweep point stays within `budget_ms` while never
+/// dropping below a statistical floor.
+inline int mwpm_trials(int base, int distance, double p, int rounds,
+                       double budget_ms = 10000.0) {
+  const double defects = expected_defects(distance, p, rounds);
+  const double cost_ms = 1.2e-5 * defects * defects * defects + 0.05;
+  const int affordable = static_cast<int>(budget_ms / cost_ms);
+  return std::clamp(affordable, 24, base);
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==== %s ====\n", title);
+  std::printf("reproduces: %s\n\n", paper_ref);
+}
+
+}  // namespace qec::bench

@@ -1,0 +1,22 @@
+// Table I: the SFQ logic elements used by the QECOOL Unit, with JJ counts,
+// bias currents, areas and latencies from the AIST ADP cell library.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sfq/cell_library.hpp"
+
+int main() {
+  qec::bench::print_header("Table I: summary of SFQ logic elements",
+                           "Table I (AIST 10-kA/cm^2 ADP cell library)");
+  qec::TextTable table(
+      {"cell", "JJs", "Bias current (mA)", "Area (um^2)", "Latency (ps)"});
+  for (const auto& spec : qec::cell_table()) {
+    table.add_row({std::string(spec.name), std::to_string(spec.jjs),
+                   qec::TextTable::fmt(spec.bias_ma, 3),
+                   qec::TextTable::fmt(spec.area_um2, 0),
+                   qec::TextTable::fmt(spec.latency_ps, 1)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "aqec/aqec_decoder.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace qec {
+namespace {
+
+// Deterministic candidate ordering: distance first, then defect identity.
+struct Choice {
+  int dist = std::numeric_limits<int>::max();
+  int index = -1;       // partner defect index, -1 = none
+  bool boundary = false;
+
+  bool better_than(const Choice& other) const {
+    if (dist != other.dist) return dist < other.dist;
+    if (boundary != other.boundary) return !boundary;  // prefer partners
+    return index < other.index;
+  }
+};
+
+}  // namespace
+
+std::vector<MatchedPair> AqecDecoder::agreement_round(
+    const PlanarLattice& lattice, std::vector<Defect>& defects, int radius) {
+  const int n = static_cast<int>(defects.size());
+  std::vector<Choice> choice(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Choice best;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const int dist = defect_distance(defects[static_cast<std::size_t>(i)],
+                                       defects[static_cast<std::size_t>(j)]);
+      if (dist > radius) continue;
+      const Choice cand{dist, j, false};
+      if (cand.better_than(best)) best = cand;
+    }
+    const int bdist =
+        lattice.boundary_distance(defects[static_cast<std::size_t>(i)].col);
+    if (bdist <= radius) {
+      const Choice cand{bdist, -1, true};
+      if (cand.better_than(best)) best = cand;
+    }
+    choice[static_cast<std::size_t>(i)] = best;
+  }
+
+  std::vector<MatchedPair> pairs;
+  std::vector<std::uint8_t> matched(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    if (matched[static_cast<std::size_t>(i)]) continue;
+    const Choice& c = choice[static_cast<std::size_t>(i)];
+    if (c.boundary) {
+      // Boundary always "agrees".
+      pairs.push_back({defects[static_cast<std::size_t>(i)], {}, true});
+      matched[static_cast<std::size_t>(i)] = 1;
+    } else if (c.index >= 0 && !matched[static_cast<std::size_t>(c.index)] &&
+               choice[static_cast<std::size_t>(c.index)].index == i &&
+               !choice[static_cast<std::size_t>(c.index)].boundary) {
+      // Mutual agreement.
+      pairs.push_back({defects[static_cast<std::size_t>(i)],
+                       defects[static_cast<std::size_t>(c.index)], false});
+      matched[static_cast<std::size_t>(i)] = 1;
+      matched[static_cast<std::size_t>(c.index)] = 1;
+    }
+  }
+
+  std::vector<Defect> remaining;
+  remaining.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (!matched[static_cast<std::size_t>(i)]) {
+      remaining.push_back(defects[static_cast<std::size_t>(i)]);
+    }
+  }
+  defects = std::move(remaining);
+  return pairs;
+}
+
+DecodeResult AqecDecoder::decode(const PlanarLattice& lattice,
+                                 const SyndromeHistory& history) {
+  std::vector<Defect> defects = collect_defects(lattice, history.difference);
+  std::vector<MatchedPair> all_pairs;
+  const int max_radius = 2 * lattice.distance() + history.total_rounds();
+  std::uint64_t work = 0;
+  for (int radius = 1; radius <= max_radius && !defects.empty(); ++radius) {
+    // Repeat at the same radius until the agreement process saturates: a
+    // match can unlock further mutual agreements among the rest.
+    while (!defects.empty()) {
+      const std::size_t before = defects.size();
+      auto pairs = agreement_round(lattice, defects, radius);
+      work += before * before;
+      all_pairs.insert(all_pairs.end(), pairs.begin(), pairs.end());
+      if (defects.size() == before) break;
+    }
+  }
+  DecodeResult result;
+  result.correction = pairs_to_correction(lattice, all_pairs);
+  result.work = work;
+  return result;
+}
+
+}  // namespace qec

@@ -1,0 +1,36 @@
+// AQEC-style decoder: a re-implementation of the agreement-based parallel
+// greedy matcher of Holmes et al., "NISQ+: Boosting quantum computing power
+// by approximating quantum error correction" (ISCA 2020) — reference [11]
+// and the comparison row of Tables IV/V.
+//
+// Mechanism (as described in the paper's Section II-C): all flipped ancilla
+// locations search for a partner in parallel within an escalating radius;
+// a pair is matched when both sides AGREE (each is the other's best
+// candidate). Defects nearer to a rough boundary than to any partner match
+// the boundary. The original targets 2-D decoding only ("Directly
+// applicable to 3-D: No" in Table V), so this decoder ignores everything
+// but the first difference layer unless the history is effectively 2-D;
+// for 3-D histories use project_to_2d() = false and expect degraded
+// accuracy (the paper never evaluates AQEC on 3-D).
+#pragma once
+
+#include "decoder/decoder.hpp"
+#include "mwpm/matching_graph.hpp"
+
+namespace qec {
+
+class AqecDecoder final : public Decoder {
+ public:
+  std::string name() const override { return "AQEC"; }
+
+  DecodeResult decode(const PlanarLattice& lattice,
+                      const SyndromeHistory& history) override;
+
+  /// Exposed for tests: one agreement round at a fixed radius over an
+  /// explicit defect list; returns matched pairs and removes them from
+  /// `defects`.
+  static std::vector<MatchedPair> agreement_round(
+      const PlanarLattice& lattice, std::vector<Defect>& defects, int radius);
+};
+
+}  // namespace qec

@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// Supports "--name=value" and "--name value" forms plus boolean "--name".
+// Unrecognised arguments are kept for the caller (so google-benchmark flags
+// pass through untouched).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qec {
+
+class CliArgs {
+ public:
+  /// Parses argv (argv[0] skipped). Never throws; malformed numeric values
+  /// surface when queried via the typed getters returning std::nullopt.
+  CliArgs(int argc, const char* const* argv);
+
+  std::optional<std::string> get(std::string_view name) const;
+  std::optional<std::int64_t> get_int(std::string_view name) const;
+  std::optional<double> get_double(std::string_view name) const;
+  bool get_flag(std::string_view name) const;
+
+  std::int64_t get_int_or(std::string_view name, std::int64_t fallback) const;
+  double get_double_or(std::string_view name, double fallback) const;
+  std::string get_or(std::string_view name, std::string_view fallback) const;
+
+  /// Arguments that did not look like --flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads trial-count override from --trials or env QECOOL_TRIALS, falling
+/// back to `fallback`. Shared by every bench binary.
+std::int64_t trials_override(const CliArgs& args, std::int64_t fallback);
+
+}  // namespace qec

@@ -1,0 +1,49 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+namespace qec {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) return;
+  std::vector<std::string> row(header.begin(), header.end());
+  add_row(row);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string escaped = "\"";
+  for (char ch : field) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(row[i]);
+  }
+  // Pad short rows so every line has the header's column count.
+  for (std::size_t i = row.size(); i < columns_; ++i) out_ << ',';
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  if (!out_) return;
+  std::vector<std::string> text;
+  text.reserve(row.size());
+  char buf[64];
+  for (double v : row) {
+    std::snprintf(buf, sizeof(buf), "%.8g", v);
+    text.emplace_back(buf);
+  }
+  add_row(text);
+}
+
+}  // namespace qec

@@ -1,0 +1,32 @@
+// Minimal CSV writer so bench binaries can emit plotting-ready data
+// alongside their human-readable tables (use --csv=path in the figure
+// benches).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qec {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. ok() reports
+  /// whether the stream is usable; writes to a failed stream are no-ops.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void add_row(const std::vector<std::string>& row);
+
+  /// Convenience for numeric rows.
+  void add_row(const std::vector<double>& row);
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace qec

@@ -1,0 +1,48 @@
+// Deterministic, fast pseudo-random number generation for Monte Carlo runs.
+//
+// We use xoshiro256** (Blackman & Vigna) rather than std::mt19937_64: it is
+// ~2x faster, has a tiny state, and supports cheap stream splitting via
+// jump(), which keeps multi-configuration sweeps reproducible regardless of
+// evaluation order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace qec {
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words from a single seed via SplitMix64,
+  /// which guarantees a non-zero, well-mixed state for any seed value.
+  explicit Xoshiro256ss(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Advances the stream by 2^128 steps; use to derive independent
+  /// sub-streams for parallel or per-configuration use.
+  void jump();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// SplitMix64 step; exposed for seeding/derivation in tests.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace qec

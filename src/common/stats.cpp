@@ -1,0 +1,51 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qec {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+BinomialInterval wilson_interval(std::uint64_t k, std::uint64_t n, double z) {
+  if (n == 0) return {0.0, 1.0};
+  const double nn = static_cast<double>(n);
+  const double phat = static_cast<double>(k) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = phat + z2 / (2.0 * nn);
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / nn + z2 / (4.0 * nn * nn));
+  BinomialInterval out;
+  out.lower = std::max(0.0, (center - half) / denom);
+  out.upper = std::min(1.0, (center + half) / denom);
+  return out;
+}
+
+}  // namespace qec

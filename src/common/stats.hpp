@@ -1,0 +1,48 @@
+// Streaming statistics and binomial confidence intervals used throughout the
+// Monte Carlo harness and the cycle-count tables.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace qec {
+
+/// Single-pass mean / variance / extrema accumulator (Welford's algorithm;
+/// numerically stable for long runs).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n). Table III reports sigma over all
+  /// layers, i.e. a population statistic.
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Two-sided binomial confidence interval.
+struct BinomialInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// Wilson score interval for k successes out of n trials at ~95% confidence
+/// (z = 1.96). Well-behaved at k = 0 and k = n, unlike the normal
+/// approximation — important for low logical-error-rate points.
+BinomialInterval wilson_interval(std::uint64_t k, std::uint64_t n,
+                                 double z = 1.96);
+
+}  // namespace qec

@@ -1,0 +1,30 @@
+// Plain-text table printer so bench binaries emit the paper's rows in a
+// uniform, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qec {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a header underline.
+  std::string to_string() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 4);
+  static std::string sci(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qec

@@ -1,0 +1,19 @@
+#include "decoder/decoder.hpp"
+
+namespace qec {
+
+bool logical_failure(const PlanarLattice& lattice,
+                     const SyndromeHistory& history,
+                     const DecodeResult& result) {
+  BitVec residual = xor_of(history.final_error, result.correction);
+  return lattice.logical_flip(residual);
+}
+
+bool residual_syndrome_free(const PlanarLattice& lattice,
+                            const SyndromeHistory& history,
+                            const DecodeResult& result) {
+  BitVec residual = xor_of(history.final_error, result.correction);
+  return is_zero(lattice.syndrome(residual));
+}
+
+}  // namespace qec

@@ -1,0 +1,48 @@
+// Common decoder interface: every decoder in this repo (QECOOL, MWPM,
+// Union-Find, AQEC) consumes a SyndromeHistory and produces a data-qubit
+// correction for one error sector.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "noise/phenomenological.hpp"
+#include "surface_code/pauli_frame.hpp"
+#include "surface_code/planar_lattice.hpp"
+
+namespace qec {
+
+struct DecodeResult {
+  /// Data-qubit flips to apply; same size as PlanarLattice::num_data().
+  BitVec correction;
+  /// Decoder-reported work metric. For QECOOL this is hardware cycles, for
+  /// the software decoders a proxy (see each decoder's header).
+  std::uint64_t work = 0;
+};
+
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Decodes a full history (batch operation). The lattice must outlive the
+  /// call. Implementations must be deterministic given the history.
+  virtual DecodeResult decode(const PlanarLattice& lattice,
+                              const SyndromeHistory& history) = 0;
+};
+
+/// True iff applying `result.correction` to `history.final_error` leaves a
+/// residual that flips the logical observable (i.e. the decode failed).
+bool logical_failure(const PlanarLattice& lattice,
+                     const SyndromeHistory& history,
+                     const DecodeResult& result);
+
+/// True iff the residual after correction is syndrome-free — guaranteed for
+/// any valid matching decode when the final round is perfect; used as an
+/// integration-test invariant.
+bool residual_syndrome_free(const PlanarLattice& lattice,
+                            const SyndromeHistory& history,
+                            const DecodeResult& result);
+
+}  // namespace qec

@@ -1,0 +1,36 @@
+// Exact maximum-likelihood decoder by exhaustive coset enumeration — an
+// accuracy *oracle* for the approximate decoders, feasible only for tiny
+// codes (d <= 3: 13 data qubits, 8192 error patterns).
+//
+// For code-capacity noise (perfect measurement, iid X errors of rate p),
+// the optimal decoder picks the homology class with the larger total
+// probability mass among errors consistent with the syndrome, then any
+// representative of that class. No approximate decoder can beat it; the
+// tests use this bound (ML failures <= MWPM failures <= greedy failures).
+#pragma once
+
+#include "decoder/decoder.hpp"
+
+namespace qec {
+
+class MaximumLikelihoodDecoder final : public Decoder {
+ public:
+  /// `p` is the assumed physical error rate used for the likelihood
+  /// weighting (the decoder stays optimal for the matching channel).
+  explicit MaximumLikelihoodDecoder(double p);
+
+  std::string name() const override { return "ML (exhaustive)"; }
+
+  /// Decodes the final measured syndrome. Requires a code-capacity history
+  /// (no measurement noise — every layer beyond the first must be defect
+  /// free) and lattice.num_data() <= kMaxQubits.
+  DecodeResult decode(const PlanarLattice& lattice,
+                      const SyndromeHistory& history) override;
+
+  static constexpr int kMaxQubits = 24;
+
+ private:
+  double p_;
+};
+
+}  // namespace qec

@@ -1,0 +1,50 @@
+#include "noise/phenomenological.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qec {
+
+SyndromeHistory sample_history(const PlanarLattice& lattice,
+                               const NoiseParams& params, Xoshiro256ss& rng) {
+  if (params.rounds < 1) throw std::invalid_argument("rounds must be >= 1");
+  SyndromeHistory history;
+  history.final_error.assign(static_cast<std::size_t>(lattice.num_data()), 0);
+  history.measured.reserve(static_cast<std::size_t>(params.rounds) + 1);
+
+  for (int t = 0; t < params.rounds; ++t) {
+    for (auto& bit : history.final_error) {
+      bit ^= static_cast<std::uint8_t>(rng.bernoulli(params.p_data));
+    }
+    BitVec meas = lattice.syndrome(history.final_error);
+    for (auto& bit : meas) {
+      bit ^= static_cast<std::uint8_t>(rng.bernoulli(params.p_meas));
+    }
+    history.measured.push_back(std::move(meas));
+  }
+  // Final perfect round: no new data error, no measurement noise.
+  history.measured.push_back(lattice.syndrome(history.final_error));
+  history.difference = difference_syndromes(history.measured);
+  return history;
+}
+
+std::vector<BitVec> difference_syndromes(const std::vector<BitVec>& measured) {
+  std::vector<BitVec> diff;
+  diff.reserve(measured.size());
+  for (std::size_t t = 0; t < measured.size(); ++t) {
+    if (t == 0) {
+      diff.push_back(measured[0]);
+    } else {
+      diff.push_back(xor_of(measured[t], measured[t - 1]));
+    }
+  }
+  return diff;
+}
+
+int defect_count(const SyndromeHistory& history) {
+  int count = 0;
+  for (const auto& layer : history.difference) count += weight(layer);
+  return count;
+}
+
+}  // namespace qec

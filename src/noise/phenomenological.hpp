@@ -1,0 +1,58 @@
+// Phenomenological noise model (Dennis et al. 2002), the error model the
+// paper uses for every accuracy result: in each measurement round every data
+// qubit flips independently with probability p_data, and every ancilla
+// measurement outcome is reported incorrectly with probability p_meas. The
+// paper sets p_data = p_meas = p.
+//
+// A SyndromeHistory carries both what the decoder is allowed to see (the
+// measured syndromes) and the ground truth needed to score the trial (the
+// accumulated physical error).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "surface_code/pauli_frame.hpp"
+#include "surface_code/planar_lattice.hpp"
+
+namespace qec {
+
+struct NoiseParams {
+  double p_data = 0.0;
+  double p_meas = 0.0;
+  /// Noisy measurement rounds. A final, perfect round is always appended so
+  /// the logical observable is well-defined (standard practice; see
+  /// DESIGN.md).
+  int rounds = 1;
+};
+
+struct SyndromeHistory {
+  /// Total stored rounds = params.rounds + 1 (the final perfect round).
+  int total_rounds() const { return static_cast<int>(measured.size()); }
+
+  /// measured[t][check]: the syndrome value reported by the hardware in
+  /// round t (cumulative parity of the error so far, XOR measurement noise).
+  std::vector<BitVec> measured;
+
+  /// difference[t][check] = measured[t] XOR measured[t-1] (measured[-1]=0):
+  /// the defect indicator each decoder actually matches on, and the value
+  /// QECOOL Units push into their Reg queues.
+  std::vector<BitVec> difference;
+
+  /// Ground truth: accumulated data error after the last round.
+  BitVec final_error;
+};
+
+/// Samples one memory-experiment history.
+SyndromeHistory sample_history(const PlanarLattice& lattice,
+                               const NoiseParams& params, Xoshiro256ss& rng);
+
+/// Computes difference syndromes from a measured-syndrome sequence (exposed
+/// for tests and for decoders fed with externally generated data).
+std::vector<BitVec> difference_syndromes(const std::vector<BitVec>& measured);
+
+/// Total number of defects (set difference-syndrome bits) in a history.
+int defect_count(const SyndromeHistory& history);
+
+}  // namespace qec

@@ -1,0 +1,306 @@
+#include "qecool/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace qec {
+namespace {
+// Race-logic port priority (Section IV-B, Prioritization module): the
+// predefined order is West, East, North, South; the sink's own time-like
+// candidate needs no propagation and outranks everything at equal arrival.
+constexpr int kPortSelf = -1;
+constexpr int kPortWest = 0;
+constexpr int kPortEast = 1;
+constexpr int kPortNorth = 2;
+constexpr int kPortSouth = 3;
+}  // namespace
+
+void MatchStats::record(int dt) {
+  if (static_cast<std::size_t>(dt) >= vertical_hist.size()) {
+    vertical_hist.resize(static_cast<std::size_t>(dt) + 1, 0);
+  }
+  ++vertical_hist[static_cast<std::size_t>(dt)];
+  if (dt >= 3) ++vertical_ge3;
+}
+
+void MatchStats::merge(const MatchStats& other) {
+  pair_matches += other.pair_matches;
+  self_matches += other.self_matches;
+  boundary_matches += other.boundary_matches;
+  vertical_ge3 += other.vertical_ge3;
+  if (vertical_hist.size() < other.vertical_hist.size()) {
+    vertical_hist.resize(other.vertical_hist.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.vertical_hist.size(); ++i) {
+    vertical_hist[i] += other.vertical_hist[i];
+  }
+}
+
+bool QecoolEngine::Candidate::operator<(const Candidate& other) const {
+  if (arrival2 != other.arrival2) return arrival2 < other.arrival2;
+  if (port != other.port) return port < other.port;
+  if (t != other.t) return t < other.t;
+  if (row != other.row) return row < other.row;
+  return col < other.col;
+}
+
+QecoolEngine::QecoolEngine(const PlanarLattice& lattice,
+                           const QecoolConfig& config)
+    : lattice_(lattice),
+      config_(config),
+      rows_(lattice.check_rows()),
+      cols_(lattice.check_cols()),
+      reg_capacity_(config.reg_depth) {
+  if (reg_capacity_ < 1) throw std::invalid_argument("reg_depth must be >= 1");
+  nlimit_ = config_.nlimit > 0
+                ? config_.nlimit
+                : (rows_ - 1) + (cols_ - 1) + reg_capacity_ + 1;
+  c_ = config_.start_at_max_hop ? nlimit_ : 1;
+  reg_.assign(static_cast<std::size_t>(rows_ * cols_) *
+                  static_cast<std::size_t>(reg_capacity_),
+              0);
+  correction_.assign(static_cast<std::size_t>(lattice.num_data()), 0);
+}
+
+bool QecoolEngine::push_layer(const BitVec& difference_layer) {
+  assert(static_cast<int>(difference_layer.size()) == rows_ * cols_);
+  if (m_ == reg_capacity_) return false;  // buffer overflow
+  for (int u = 0; u < rows_ * cols_; ++u) {
+    reg_at(u, m_) = difference_layer[static_cast<std::size_t>(u)];
+  }
+  ++m_;
+  return true;
+}
+
+bool QecoolEngine::all_clear() const {
+  for (int u = 0; u < rows_ * cols_; ++u) {
+    for (int t = 0; t < m_; ++t) {
+      if (reg_at(u, t)) return false;
+    }
+  }
+  return true;
+}
+
+bool QecoolEngine::reg_bit(int row, int col, int depth) const {
+  assert(depth >= 0 && depth < m_);
+  return reg_at(unit_index(row, col), depth) != 0;
+}
+
+bool QecoolEngine::row_has_any_bit(int row) const {
+  for (int col = 0; col < cols_; ++col) {
+    const int u = unit_index(row, col);
+    for (int t = 0; t < m_; ++t) {
+      if (reg_at(u, t)) return true;
+    }
+  }
+  return false;
+}
+
+bool QecoolEngine::base_layer_clear() const {
+  if (m_ == 0) return false;
+  for (int u = 0; u < rows_ * cols_; ++u) {
+    if (reg_at(u, 0)) return false;
+  }
+  return true;
+}
+
+int QecoolEngine::first_set_depth(int unit, int from_depth) const {
+  for (int t = from_depth; t < m_; ++t) {
+    if (reg_at(unit, t)) return t;
+  }
+  return -1;
+}
+
+bool QecoolEngine::has_eligible_base() const {
+  for (int b = 0; b < m_; ++b) {
+    if (m_ - b <= config_.thv) continue;
+    for (int u = 0; u < rows_ * cols_; ++u) {
+      if (reg_at(u, b)) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<QecoolEngine::Candidate> QecoolEngine::best_candidate(
+    int sink_row, int sink_col, int base, int hop_limit) const {
+  std::optional<Candidate> best;
+  auto consider = [&best](const Candidate& cand) {
+    if (!best || cand < *best) best = cand;
+  };
+
+  const int sink = unit_index(sink_row, sink_col);
+  // Time-like candidate inside the sink Unit itself (Algorithm 1, sink loop
+  // over t): a later set bit at depth t arrives after t - base cycles.
+  const int self_t = first_set_depth(sink, base + 1);
+  if (self_t >= 0 && self_t - base <= hop_limit) {
+    consider(Candidate{2 * static_cast<std::int64_t>(self_t - base), kPortSelf,
+                       self_t, sink_row, sink_col, Candidate::Kind::Self});
+  }
+
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (r == sink_row && c == sink_col) continue;
+      const int t = first_set_depth(unit_index(r, c), base);
+      if (t < 0) continue;
+      const int spatial = std::abs(r - sink_row) + std::abs(c - sink_col);
+      const int arrival = spatial + (t - base);
+      if (arrival > hop_limit) continue;
+      int port;
+      if (c != sink_col) {
+        port = c < sink_col ? kPortWest : kPortEast;
+      } else {
+        port = r < sink_row ? kPortNorth : kPortSouth;
+      }
+      consider(Candidate{2 * static_cast<std::int64_t>(arrival), port, t, r, c,
+                         Candidate::Kind::Unit});
+    }
+  }
+
+  // Boundary Units always answer a requestSpike(); the nearer side wins.
+  const int bdist = lattice_.boundary_distance(sink_col);
+  if (bdist <= hop_limit) {
+    const bool left_nearer = sink_col + 1 <= lattice_.distance() - 1 - sink_col;
+    Candidate cand{2 * static_cast<std::int64_t>(bdist) +
+                       (config_.deprioritize_boundary ? 1 : 0),
+                   left_nearer ? kPortWest : kPortEast, base, sink_row,
+                   sink_col, Candidate::Kind::Boundary};
+    consider(cand);
+  }
+  return best;
+}
+
+std::uint64_t QecoolEngine::process_unit(int row, int col) {
+  std::uint64_t spent = 0;
+  const int sink = unit_index(row, col);
+  if (!reg_at(sink, b_)) return spent;
+
+  spent += config_.cycles.request;
+  const auto winner = best_candidate(row, col, b_, c_);
+  if (!winner) {
+    spent += static_cast<std::uint64_t>(c_);  // timeout: full wait window
+    return spent;
+  }
+
+  if (config_.record_trace) {
+    MatchEvent event;
+    event.kind = winner->kind == Candidate::Kind::Unit
+                     ? MatchEvent::Kind::Pair
+                     : (winner->kind == Candidate::Kind::Self
+                            ? MatchEvent::Kind::Self
+                            : MatchEvent::Kind::Boundary);
+    event.sink_row = row;
+    event.sink_col = col;
+    event.base_depth = b_;
+    event.source_row = winner->row;
+    event.source_col = winner->col;
+    event.source_depth = winner->t;
+    event.hop_limit = c_;
+    event.cycle = cycles_;
+    trace_.push_back(event);
+  }
+
+  switch (winner->kind) {
+    case Candidate::Kind::Self: {
+      const int dt = winner->t - b_;
+      spent += static_cast<std::uint64_t>(dt);
+      reg_at(sink, b_) = 0;
+      reg_at(sink, winner->t) = 0;
+      ++stats_.self_matches;
+      stats_.record(dt);
+      break;
+    }
+    case Candidate::Kind::Unit: {
+      const int spatial =
+          std::abs(winner->row - row) + std::abs(winner->col - col);
+      const int dt = winner->t - b_;
+      // Wait for the first spike, then the Syndrome retraces the path.
+      spent += static_cast<std::uint64_t>(spatial + dt);
+      spent += static_cast<std::uint64_t>(spatial);
+      spent += config_.cycles.correct;
+      const std::vector<int> path =
+          lattice_.l_path({winner->row, winner->col}, {row, col});
+      for (int q : path) correction_[static_cast<std::size_t>(q)] ^= 1;
+      reg_at(sink, b_) = 0;
+      reg_at(unit_index(winner->row, winner->col), winner->t) = 0;
+      ++stats_.pair_matches;
+      stats_.record(dt);
+      break;
+    }
+    case Candidate::Kind::Boundary: {
+      const int bdist = lattice_.boundary_distance(col);
+      spent += static_cast<std::uint64_t>(2 * bdist);
+      spent += config_.cycles.correct;
+      const std::vector<int> path = lattice_.boundary_path({row, col});
+      for (int q : path) correction_[static_cast<std::size_t>(q)] ^= 1;
+      reg_at(sink, b_) = 0;
+      ++stats_.boundary_matches;
+      stats_.record(0);
+      break;
+    }
+  }
+  return spent;
+}
+
+void QecoolEngine::pop_layer() {
+  assert(m_ > 0);
+  for (int u = 0; u < rows_ * cols_; ++u) {
+    for (int t = 0; t + 1 < m_; ++t) reg_at(u, t) = reg_at(u, t + 1);
+    reg_at(u, m_ - 1) = 0;
+  }
+  --m_;
+  layer_cycles_.push_back(cycles_ - last_pop_cycles_);
+  last_pop_cycles_ = cycles_;
+}
+
+std::uint64_t QecoolEngine::run(std::uint64_t budget) {
+  std::uint64_t spent = 0;
+  auto charge = [&](std::uint64_t c) {
+    cycles_ += c;
+    spent += c;
+  };
+
+  while (spent < budget) {
+    if (m_ == 0) break;
+    // Idle when no work can make progress: the base layer is dirty (cannot
+    // pop) and no stored layer is old enough to decode under thv.
+    if (!base_layer_clear() && !has_eligible_base()) break;
+
+    if (row_ < rows_) {
+      const bool gate_open = (m_ - b_) > config_.thv;
+      if (!row_has_any_bit(row_) || !gate_open) {
+        // Row Master withholds the token: either the row is clean or the
+        // base layer is not yet eligible for decoding.
+        charge(config_.cycles.row_skip);
+      } else {
+        for (int col = 0; col < cols_; ++col) {
+          charge(config_.cycles.token_hop);
+          charge(process_unit(row_, col));
+        }
+      }
+      ++row_;
+      continue;
+    }
+
+    // End of a full (C, b) grid pass.
+    charge(config_.cycles.pass_overhead);
+    row_ = 0;
+    const int c_start = config_.start_at_max_hop ? nlimit_ : 1;
+    if (base_layer_clear()) {
+      charge(config_.cycles.pop);
+      pop_layer();
+      c_ = c_start;
+      b_ = 0;
+      continue;
+    }
+    ++b_;
+    if (b_ >= m_) {
+      b_ = 0;
+      ++c_;
+      if (c_ > nlimit_) c_ = c_start;
+    }
+  }
+  return spent;
+}
+
+}  // namespace qec

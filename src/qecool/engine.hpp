@@ -1,0 +1,174 @@
+// The QECOOL decoding engine: a cycle-level behavioural model of the
+// hardware of Section IV executing Algorithm 1.
+//
+// One engine models the Unit array of a single logical qubit / error sector:
+// a d x (d-1) grid of Units (one per check), a Row Master per row, one
+// shared Boundary Unit per rough edge, and the Controller that scans tokens
+// row-major with an escalating hop-limit C.
+//
+// Faithfulness notes (see DESIGN.md section 6 for rationale):
+//  - Reg entries hold *difference* syndromes pushed in measurement order.
+//  - A token granted to a Unit with Reg[b] = 1 makes it the sink; every
+//    other Unit whose earliest set Reg bit at depth t >= b exists answers
+//    with a spike whose arrival time is (Manhattan distance) + (t - b);
+//    the sink itself competes with a pure-vertical candidate at t - b; the
+//    Boundary Unit answers at its hop distance, half a cycle late when
+//    deprioritized. The earliest arrival within the timeout C wins; ties
+//    resolve by the race-logic port priority W > E > N > S.
+//  - The winning spike's path (vertical to the sink's row, then horizontal)
+//    is retraced by the Syndrome signal, flipping those data qubits into the
+//    accumulated correction; the matched Reg bits are cleared.
+//  - After each full (C, b) grid pass the Controller pops the base layer if
+//    it is clean everywhere (SHIFTREG) and restarts at C = 1.
+//
+// The engine is resumable: run(budget) consumes at most `budget` cycles and
+// can be continued later, which is how the on-line runner models a decoder
+// clocked at f while measurements arrive every 1 us.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "qecool/config.hpp"
+#include "surface_code/pauli_frame.hpp"
+#include "surface_code/planar_lattice.hpp"
+
+namespace qec {
+
+/// One matching event, recorded when QecoolConfig::record_trace is set.
+struct MatchEvent {
+  enum class Kind : std::uint8_t { Pair, Self, Boundary } kind = Kind::Pair;
+  int sink_row = 0;
+  int sink_col = 0;
+  int base_depth = 0;   ///< b at match time
+  int source_row = 0;   ///< == sink for Self/Boundary
+  int source_col = 0;
+  int source_depth = 0;
+  int hop_limit = 0;    ///< C at match time
+  std::uint64_t cycle = 0;  ///< engine cycle counter at match time
+};
+
+/// Aggregate matching statistics (Fig 4b instrumentation).
+struct MatchStats {
+  std::uint64_t pair_matches = 0;      ///< Unit-to-other-Unit matches.
+  std::uint64_t self_matches = 0;      ///< Pure time-like (same Unit).
+  std::uint64_t boundary_matches = 0;  ///< Unit-to-Boundary matches.
+  std::uint64_t vertical_ge3 = 0;      ///< Matches with |t - b| >= 3.
+  std::vector<std::uint64_t> vertical_hist;  ///< [dt] -> count.
+
+  std::uint64_t total() const {
+    return pair_matches + self_matches + boundary_matches;
+  }
+  void record(int dt);
+  void merge(const MatchStats& other);
+};
+
+class QecoolEngine {
+ public:
+  QecoolEngine(const PlanarLattice& lattice, const QecoolConfig& config);
+
+  /// Appends one difference-syndrome layer to every Unit's Reg. Returns
+  /// false when the Reg queues are full (buffer overflow — the failure mode
+  /// of Fig 7); the layer is dropped in that case.
+  bool push_layer(const BitVec& difference_layer);
+
+  /// Executes controller work for at most `budget` cycles (use kUnlimited
+  /// to run until there is nothing left to do). Returns cycles consumed.
+  /// The engine idles — consuming nothing — when no stored layer is
+  /// eligible under thv or all Regs are clean.
+  std::uint64_t run(std::uint64_t budget);
+
+  static constexpr std::uint64_t kUnlimited = ~std::uint64_t{0};
+
+  /// True when every Reg bit is clear.
+  bool all_clear() const;
+
+  /// Stored layers currently in the Reg queues.
+  int stored_layers() const { return m_; }
+
+  /// Accumulated data-qubit correction from all Syndrome signals so far.
+  const BitVec& correction() const { return correction_; }
+
+  /// Total working cycles since construction.
+  std::uint64_t total_cycles() const { return cycles_; }
+
+  /// Working cycles attributed to each popped layer, in pop order
+  /// (Table III's per-layer execution cycles).
+  const std::vector<std::uint64_t>& layer_cycles() const {
+    return layer_cycles_;
+  }
+
+  const MatchStats& match_stats() const { return stats_; }
+
+  /// Number of layers popped so far.
+  int popped_layers() const { return static_cast<int>(layer_cycles_.size()); }
+
+  /// Test hook: reads Reg[depth] of the Unit at (row, col).
+  bool reg_bit(int row, int col, int depth) const;
+
+  /// Match-event trace; empty unless QecoolConfig::record_trace is set.
+  const std::vector<MatchEvent>& trace() const { return trace_; }
+
+ private:
+  struct Candidate {
+    // Sort key: arrival doubled so the boundary half-cycle penalty stays
+    // integral, then port priority, then depth/row/col for determinism.
+    std::int64_t arrival2 = 0;
+    int port = 0;
+    int t = 0;
+    int row = 0;
+    int col = 0;
+    enum class Kind : std::uint8_t { Unit, Self, Boundary } kind = Kind::Unit;
+    bool operator<(const Candidate& other) const;
+  };
+
+  int unit_index(int row, int col) const {
+    return row * cols_ + col;
+  }
+  std::uint8_t& reg_at(int unit, int depth) {
+    return reg_[static_cast<std::size_t>(unit) * reg_capacity_ +
+                static_cast<std::size_t>(depth)];
+  }
+  std::uint8_t reg_at(int unit, int depth) const {
+    return reg_[static_cast<std::size_t>(unit) * reg_capacity_ +
+                static_cast<std::size_t>(depth)];
+  }
+
+  bool row_has_any_bit(int row) const;
+  bool base_layer_clear() const;
+  int first_set_depth(int unit, int from_depth) const;
+  std::optional<Candidate> best_candidate(int sink_row, int sink_col,
+                                          int base, int hop_limit) const;
+
+  /// Token + sink handling for one Unit; returns cycles spent.
+  std::uint64_t process_unit(int row, int col);
+  /// Pops the base layer; records per-layer cycles.
+  void pop_layer();
+  /// True if any base layer is eligible for decoding under thv.
+  bool has_eligible_base() const;
+  int max_eligible_base() const;
+
+  const PlanarLattice& lattice_;
+  QecoolConfig config_;
+  int rows_ = 0;
+  int cols_ = 0;
+  int reg_capacity_ = 0;
+  int nlimit_ = 0;
+  std::vector<std::uint8_t> reg_;  // [unit][depth], row-major
+  int m_ = 0;                      // stored layers
+  BitVec correction_;
+
+  // Resumable controller position.
+  int c_ = 1;    // current hop limit (1..nlimit_)
+  int b_ = 0;    // current base depth
+  int row_ = 0;  // next row to scan in the current pass
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t last_pop_cycles_ = 0;
+  std::vector<std::uint64_t> layer_cycles_;
+  MatchStats stats_;
+  std::vector<MatchEvent> trace_;
+};
+
+}  // namespace qec

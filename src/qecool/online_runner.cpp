@@ -1,0 +1,43 @@
+#include "qecool/online_runner.hpp"
+
+namespace qec {
+
+OnlineResult run_online(const PlanarLattice& lattice,
+                        const SyndromeHistory& history,
+                        const OnlineConfig& config) {
+  QecoolEngine engine(lattice, config.engine);
+  const std::uint64_t budget = config.cycles_per_round == 0
+                                   ? QecoolEngine::kUnlimited
+                                   : config.cycles_per_round;
+  OnlineResult result;
+
+  auto step = [&](const BitVec& layer) {
+    if (!engine.push_layer(layer)) {
+      result.overflow = true;
+      return false;
+    }
+    engine.run(budget);
+    return true;
+  };
+
+  for (const auto& layer : history.difference) {
+    if (!step(layer)) break;
+  }
+  if (!result.overflow) {
+    // Keep the QEC cycle running on clean layers until the queues drain.
+    const BitVec clean(static_cast<std::size_t>(lattice.num_checks()), 0);
+    for (int extra = 0; extra < config.max_drain_rounds; ++extra) {
+      if (engine.all_clear() && engine.stored_layers() == 0) break;
+      if (!step(clean)) break;
+    }
+  }
+
+  result.drained = !result.overflow && engine.all_clear();
+  result.correction = engine.correction();
+  result.matches = engine.match_stats();
+  result.layer_cycles = engine.layer_cycles();
+  result.total_cycles = engine.total_cycles();
+  return result;
+}
+
+}  // namespace qec

@@ -1,0 +1,54 @@
+// On-line QECOOL (Section III-B / V): the decoder is clocked at `frequency`
+// while a new measurement layer arrives every measurement interval (1 us in
+// the paper). Between consecutive layers the engine may spend at most
+// frequency * interval cycles; if the 7-entry Reg queues overflow because
+// decoding falls behind, the run fails (the effect visible in Fig 7a/7b).
+#pragma once
+
+#include <cstdint>
+
+#include "noise/phenomenological.hpp"
+#include "qecool/config.hpp"
+#include "qecool/engine.hpp"
+#include "surface_code/planar_lattice.hpp"
+
+namespace qec {
+
+struct OnlineConfig {
+  QecoolConfig engine;  ///< thv = 3, reg_depth = 7 by default (the paper's).
+
+  /// Decoder cycles available between consecutive measurement layers:
+  /// frequency [Hz] * measurement interval [s]. 0 means unconstrained
+  /// (used for Table III cycle statistics).
+  std::uint64_t cycles_per_round = 0;
+
+  /// After the last real layer the experiment keeps pushing clean layers
+  /// (QEC never stops in hardware) until the queues drain; bail out after
+  /// this many extra layers.
+  int max_drain_rounds = 1000;
+};
+
+/// Convenience: cycles available per 1 us measurement interval at `hz`.
+constexpr std::uint64_t cycles_per_microsecond(double hz) {
+  return static_cast<std::uint64_t>(hz * 1e-6);
+}
+
+struct OnlineResult {
+  bool overflow = false;  ///< Reg overflow — the trial counts as a failure.
+  bool drained = false;   ///< All defects consumed by the end of the run.
+  BitVec correction;
+  MatchStats matches;
+  /// Working cycles attributed to each popped layer (Table III).
+  std::vector<std::uint64_t> layer_cycles;
+  std::uint64_t total_cycles = 0;
+
+  /// A trial is successful only if the decoder kept up and drained.
+  bool failed_operationally() const { return overflow || !drained; }
+};
+
+/// Streams `history` through an on-line engine and returns the outcome.
+OnlineResult run_online(const PlanarLattice& lattice,
+                        const SyndromeHistory& history,
+                        const OnlineConfig& config);
+
+}  // namespace qec

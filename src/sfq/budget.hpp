@@ -1,0 +1,34 @@
+// Dilution-refrigerator power budgeting (Table V): how many logical qubits
+// each decoder can protect inside the ~1 W budget of the 4-K stage
+// [Hornibrook et al. 2015].
+#pragma once
+
+#include <string>
+
+namespace qec {
+
+/// 4-K stage budget assumed by the paper.
+inline constexpr double kFourKelvinBudgetW = 1.0;
+
+struct DecoderDeployment {
+  std::string name;
+  double power_per_unit_w = 0.0;
+  long long units_per_logical_qubit = 0;
+
+  double power_per_logical_qubit_w() const {
+    return power_per_unit_w * static_cast<double>(units_per_logical_qubit);
+  }
+  /// Logical qubits that FIT the budget (floor; the paper rounds, which
+  /// yields 37 instead of 36 for AQEC — see EXPERIMENTS.md).
+  long long protectable_logical_qubits(double budget_w) const;
+};
+
+/// QECOOL at code distance d and clock `freq_hz` (ERSFQ).
+DecoderDeployment qecool_deployment(int distance, double freq_hz);
+
+/// AQEC / NISQ+ [Holmes et al. 2020] with the constants the paper quotes in
+/// Table V: 13.44 uW per unit, (2d-1)^2 units per logical qubit, and a 7x
+/// module overhead when extended to 3-D matching (Section V-D).
+DecoderDeployment aqec_deployment(int distance, bool extended_to_3d);
+
+}  // namespace qec

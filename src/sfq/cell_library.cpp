@@ -1,0 +1,31 @@
+#include "sfq/cell_library.hpp"
+
+#include <cstdlib>
+
+namespace qec {
+namespace {
+
+// Table I of the paper, verbatim.
+constexpr std::array<SfqCellSpec, kSfqCellCount> kCellTable{{
+    {"splitter", 3, 0.300, 900.0, 4.3},
+    {"merger", 7, 0.880, 900.0, 8.2},
+    {"1:2 switch", 33, 3.464, 8100.0, 10.5},
+    {"DRO", 6, 0.720, 900.0, 5.1},
+    {"NDRO", 11, 1.112, 1800.0, 6.4},
+    {"RD", 11, 0.900, 1800.0, 6.0},
+    {"D2", 12, 0.944, 1800.0, 6.8},
+}};
+
+}  // namespace
+
+const SfqCellSpec& cell_spec(SfqCell cell) {
+  const auto index = static_cast<std::size_t>(cell);
+  if (index >= kCellTable.size()) std::abort();
+  return kCellTable[index];
+}
+
+const std::array<SfqCellSpec, kSfqCellCount>& cell_table() {
+  return kCellTable;
+}
+
+}  // namespace qec

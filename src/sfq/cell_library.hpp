@@ -1,0 +1,43 @@
+// The RSFQ standard-cell library of Table I (AIST 10-kA/cm^2 ADP cell
+// library [Yamanashi et al.], niobium nine-layer 1.0-um process): per-cell
+// Josephson-junction count, bias current, area and latency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace qec {
+
+enum class SfqCell : std::uint8_t {
+  Splitter,
+  Merger,
+  Switch12,  // 1:2 switch
+  Dro,       // destructive readout
+  Ndro,      // nondestructive readout
+  ResettableDro,
+  DualOutputDro,
+  kCount,
+};
+
+inline constexpr int kSfqCellCount = static_cast<int>(SfqCell::kCount);
+
+struct SfqCellSpec {
+  std::string_view name;
+  int jjs = 0;              ///< Josephson junctions
+  double bias_ma = 0.0;     ///< bias current [mA]
+  double area_um2 = 0.0;    ///< layout area [um^2]
+  double latency_ps = 0.0;  ///< propagation latency [ps]
+};
+
+/// Table I, row for `cell`.
+const SfqCellSpec& cell_spec(SfqCell cell);
+
+/// All cells in Table I order.
+const std::array<SfqCellSpec, kSfqCellCount>& cell_table();
+
+// Physical constants of Section V-C.
+inline constexpr double kFluxQuantumWb = 2.068e-15;  ///< magnetic flux quantum
+inline constexpr double kRsfqSupplyV = 2.5e-3;       ///< designed bias voltage
+
+}  // namespace qec

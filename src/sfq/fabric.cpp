@@ -1,0 +1,35 @@
+#include "sfq/fabric.hpp"
+
+#include "sfq/power.hpp"
+#include "sfq/unit_netlist.hpp"
+
+namespace qec {
+
+FabricReport build_fabric(const FabricConfig& config) {
+  const int d = config.distance;
+  const long long q = config.logical_qubits;
+  const UnitBudget unit = unit_budget();
+
+  FabricReport report;
+  report.units = q * units_per_logical_qubit(d);
+  report.row_masters = q * 2LL * d;        // d rows per sector
+  report.controllers = q * 2LL;
+  report.boundary_units = q * 2LL * 2LL;   // two rough edges per sector
+  report.total_jjs = report.units * unit.jjs;
+  report.area_mm2 = static_cast<double>(report.units) * unit.area_um2 * 1e-6;
+  report.ersfq_power_w = static_cast<double>(report.units) *
+                         qecool_unit_ersfq_power_w(config.freq_hz);
+  report.rsfq_power_w =
+      static_cast<double>(report.units) * qecool_unit_rsfq_power_w();
+  report.physical_data_qubits =
+      q * (static_cast<long long>(d) * d + static_cast<long long>(d - 1) * (d - 1));
+  report.physical_ancilla_qubits = q * units_per_logical_qubit(d);
+  return report;
+}
+
+long long max_logical_qubits(int distance, double freq_hz, double budget_w) {
+  return qecool_deployment(distance, freq_hz)
+      .protectable_logical_qubits(budget_w);
+}
+
+}  // namespace qec

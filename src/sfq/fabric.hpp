@@ -1,0 +1,42 @@
+// System-level decoder fabric model: what it takes to protect a whole
+// processor's worth of logical qubits with QECOOL Units in the 4-K stage —
+// the scaling story behind the paper's "around 2,500 logical qubits"
+// headline, extended with area and junction-count feasibility.
+#pragma once
+
+#include <string>
+
+#include "sfq/budget.hpp"
+
+namespace qec {
+
+struct FabricConfig {
+  int logical_qubits = 1;
+  int distance = 9;
+  double freq_hz = 2e9;
+};
+
+struct FabricReport {
+  long long units = 0;            ///< decoder Units, both error sectors
+  long long row_masters = 0;      ///< one per row per sector per qubit
+  long long controllers = 0;      ///< one per sector per logical qubit
+  long long boundary_units = 0;   ///< two per sector per logical qubit
+  long long total_jjs = 0;        ///< Units only (controllers are small)
+  double area_mm2 = 0.0;
+  double ersfq_power_w = 0.0;
+  double rsfq_power_w = 0.0;
+  long long physical_data_qubits = 0;
+  long long physical_ancilla_qubits = 0;
+
+  /// Fits the given 4-K power budget?
+  bool fits_power(double budget_w) const { return ersfq_power_w <= budget_w; }
+};
+
+/// Builds the bill of materials for a decoder fabric.
+FabricReport build_fabric(const FabricConfig& config);
+
+/// Largest number of logical qubits whose fabric fits `budget_w` at the
+/// given distance and clock (the paper's Table V question, generalized).
+long long max_logical_qubits(int distance, double freq_hz, double budget_w);
+
+}  // namespace qec

@@ -1,0 +1,24 @@
+#include "sfq/power.hpp"
+
+#include "sfq/cell_library.hpp"
+#include "sfq/unit_netlist.hpp"
+
+namespace qec {
+
+double rsfq_power_w(double bias_ma, double supply_v) {
+  return bias_ma * 1e-3 * supply_v;
+}
+
+double ersfq_power_w(double bias_ma, double freq_hz) {
+  return bias_ma * 1e-3 * freq_hz * kFluxQuantumWb * 2.0;
+}
+
+double qecool_unit_rsfq_power_w() {
+  return rsfq_power_w(unit_budget().bias_ma, kRsfqSupplyV);
+}
+
+double qecool_unit_ersfq_power_w(double freq_hz) {
+  return ersfq_power_w(unit_budget().bias_ma, freq_hz);
+}
+
+}  // namespace qec

@@ -1,0 +1,25 @@
+// RSFQ / ERSFQ power models of Sections IV-C and V-C.
+//
+// RSFQ power is dominated by static bias dissipation: P = V_bias * I_bias
+// (840 uW per Unit at 2.5 mV, 336 mA). ERSFQ [Kirichenko et al. 2011]
+// eliminates static dissipation; what remains is dynamic power, twice the
+// RSFQ dynamic power [Mukhanov 2011]:
+//
+//     P_unit = I_bias * f * Phi0 * 2
+//
+// which gives 2.78 uW per Unit at 2 GHz — the headline number of the paper.
+#pragma once
+
+namespace qec {
+
+/// Static RSFQ power [W] for a bias current [mA] at supply `supply_v`.
+double rsfq_power_w(double bias_ma, double supply_v);
+
+/// ERSFQ dynamic power [W] for a bias current [mA] at clock `freq_hz`.
+double ersfq_power_w(double bias_ma, double freq_hz);
+
+/// Power of one QECOOL Unit (published 336 mA bias) in each technology.
+double qecool_unit_rsfq_power_w();
+double qecool_unit_ersfq_power_w(double freq_hz);
+
+}  // namespace qec

@@ -1,0 +1,206 @@
+#include "sfq/pulse_sim.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qec {
+
+PulseSimulator::NodeId PulseSimulator::make_node(std::string name) {
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(std::move(name));
+  traces_.emplace_back();
+  listeners_.emplace_back();
+  return id;
+}
+
+void PulseSimulator::attach(NodeId node, int cell, Pin pin) {
+  assert(node >= 0 && node < static_cast<NodeId>(listeners_.size()));
+  listeners_[static_cast<std::size_t>(node)].push_back({cell, pin});
+}
+
+void PulseSimulator::add_jtl(NodeId in, NodeId out, double delay_ps) {
+  cells_.push_back({CellKind::Jtl, delay_ps, out, -1, false});
+  attach(in, static_cast<int>(cells_.size()) - 1, kIn0);
+}
+
+void PulseSimulator::add_splitter(NodeId in, NodeId out_a, NodeId out_b) {
+  cells_.push_back({CellKind::Splitter, cell_spec(SfqCell::Splitter).latency_ps,
+                    out_a, out_b, false});
+  attach(in, static_cast<int>(cells_.size()) - 1, kIn0);
+}
+
+void PulseSimulator::add_merger(NodeId in_a, NodeId in_b, NodeId out) {
+  cells_.push_back({CellKind::Merger, cell_spec(SfqCell::Merger).latency_ps,
+                    out, -1, false});
+  const int cell = static_cast<int>(cells_.size()) - 1;
+  attach(in_a, cell, kIn0);
+  attach(in_b, cell, kIn1);
+}
+
+void PulseSimulator::add_dro(NodeId set, NodeId clk, NodeId out) {
+  cells_.push_back(
+      {CellKind::Dro, cell_spec(SfqCell::Dro).latency_ps, out, -1, false});
+  const int cell = static_cast<int>(cells_.size()) - 1;
+  attach(set, cell, kIn0);
+  attach(clk, cell, kClk);
+}
+
+void PulseSimulator::add_rd(NodeId set, NodeId reset, NodeId clk, NodeId out) {
+  cells_.push_back({CellKind::Rd, cell_spec(SfqCell::ResettableDro).latency_ps,
+                    out, -1, false});
+  const int cell = static_cast<int>(cells_.size()) - 1;
+  attach(set, cell, kIn0);
+  attach(reset, cell, kReset);
+  attach(clk, cell, kClk);
+}
+
+void PulseSimulator::add_ndro(NodeId set, NodeId reset, NodeId clk,
+                              NodeId out) {
+  cells_.push_back(
+      {CellKind::Ndro, cell_spec(SfqCell::Ndro).latency_ps, out, -1, false});
+  const int cell = static_cast<int>(cells_.size()) - 1;
+  attach(set, cell, kIn0);
+  attach(reset, cell, kReset);
+  attach(clk, cell, kClk);
+}
+
+void PulseSimulator::add_d2(NodeId set, NodeId clk, NodeId out_true,
+                            NodeId out_false) {
+  cells_.push_back({CellKind::D2, cell_spec(SfqCell::DualOutputDro).latency_ps,
+                    out_true, out_false, false});
+  const int cell = static_cast<int>(cells_.size()) - 1;
+  attach(set, cell, kIn0);
+  attach(clk, cell, kClk);
+}
+
+void PulseSimulator::add_switch(NodeId in, NodeId select_set,
+                                NodeId select_reset, NodeId out0,
+                                NodeId out1) {
+  cells_.push_back({CellKind::Switch, cell_spec(SfqCell::Switch12).latency_ps,
+                    out0, out1, false});
+  const int cell = static_cast<int>(cells_.size()) - 1;
+  attach(in, cell, kIn0);
+  attach(select_set, cell, kIn1);
+  attach(select_reset, cell, kReset);
+}
+
+void PulseSimulator::inject(NodeId node, double t_ps) { schedule(node, t_ps); }
+
+void PulseSimulator::schedule(NodeId node, double t) {
+  if (node < 0) return;  // unconnected output
+  queue_.push(Event{t, seq_++, node});
+}
+
+void PulseSimulator::deliver(const Event& event) {
+  traces_[static_cast<std::size_t>(event.node)].push_back(event.t);
+  for (const Listener& listener :
+       listeners_[static_cast<std::size_t>(event.node)]) {
+    Cell& cell = cells_[static_cast<std::size_t>(listener.cell)];
+    const double out_t = event.t + cell.latency_ps;
+    switch (cell.kind) {
+      case CellKind::Jtl:
+      case CellKind::Merger:
+        schedule(cell.out0, out_t);
+        break;
+      case CellKind::Splitter:
+        schedule(cell.out0, out_t);
+        schedule(cell.out1, out_t);
+        break;
+      case CellKind::Dro:
+        if (listener.pin == kIn0) {
+          cell.state = true;
+        } else if (listener.pin == kClk) {
+          if (cell.state) schedule(cell.out0, out_t);
+          cell.state = false;
+        }
+        break;
+      case CellKind::Rd:
+        if (listener.pin == kIn0) {
+          cell.state = true;
+        } else if (listener.pin == kReset) {
+          cell.state = false;
+        } else if (listener.pin == kClk) {
+          if (cell.state) schedule(cell.out0, out_t);
+          cell.state = false;
+        }
+        break;
+      case CellKind::Ndro:
+        if (listener.pin == kIn0) {
+          cell.state = true;
+        } else if (listener.pin == kReset) {
+          cell.state = false;
+        } else if (listener.pin == kClk) {
+          if (cell.state) schedule(cell.out0, out_t);  // non-destructive
+        }
+        break;
+      case CellKind::D2:
+        if (listener.pin == kIn0) {
+          cell.state = true;
+        } else if (listener.pin == kClk) {
+          schedule(cell.state ? cell.out0 : cell.out1, out_t);
+          cell.state = false;
+        }
+        break;
+      case CellKind::Switch:
+        if (listener.pin == kIn0) {
+          schedule(cell.state ? cell.out1 : cell.out0, out_t);
+        } else if (listener.pin == kIn1) {
+          cell.state = true;
+        } else if (listener.pin == kReset) {
+          cell.state = false;
+        }
+        break;
+    }
+  }
+}
+
+void PulseSimulator::run(double until_ps) {
+  while (!queue_.empty() && queue_.top().t <= until_ps) {
+    const Event event = queue_.top();
+    queue_.pop();
+    ++events_processed_;
+    deliver(event);
+  }
+}
+
+const std::vector<double>& PulseSimulator::pulses(NodeId node) const {
+  return traces_[static_cast<std::size_t>(node)];
+}
+
+int PulseSimulator::pulse_count(NodeId node) const {
+  return static_cast<int>(traces_[static_cast<std::size_t>(node)].size());
+}
+
+PriorityArbiter build_priority_arbiter(PulseSimulator& sim,
+                                       double port_skew_ps) {
+  PriorityArbiter arb{};
+  // Four ports, skewed so W arrives before E before N before S when pulses
+  // are injected simultaneously — the "appropriate signal delay in each
+  // direction" of Section IV-B.
+  PulseSimulator::NodeId delayed[4];
+  for (int i = 0; i < 4; ++i) {
+    arb.port[i] = sim.make_node("port" + std::to_string(i));
+    delayed[i] = sim.make_node("delayed" + std::to_string(i));
+    sim.add_jtl(arb.port[i], delayed[i],
+                1.0 + port_skew_ps * static_cast<double>(i));
+  }
+  // Merge tree: ((W,E),(N,S)) -> merged.
+  const auto m0 = sim.make_node("merge_we");
+  const auto m1 = sim.make_node("merge_ns");
+  const auto merged = sim.make_node("merged");
+  sim.add_merger(delayed[0], delayed[1], m0);
+  sim.add_merger(delayed[2], delayed[3], m1);
+  sim.add_merger(m0, m1, merged);
+  // First pulse passes the switch to `winner` and then locks the switch so
+  // later pulses fall into the sink.
+  arb.winner = sim.make_node("winner");
+  const auto sink = sim.make_node("sink");
+  const auto lock = sim.make_node("lock");
+  const auto none = sim.make_node("nc");
+  sim.add_switch(merged, lock, none, arb.winner, sink);
+  const auto winner_fanout = sim.make_node("winner_fanout");
+  sim.add_splitter(arb.winner, winner_fanout, lock);
+  return arb;
+}
+
+}  // namespace qec

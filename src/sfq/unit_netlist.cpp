@@ -1,0 +1,68 @@
+#include "sfq/unit_netlist.hpp"
+
+namespace qec {
+namespace {
+
+// Table II, cell-instance rows. Array order: splitter, merger, 1:2 switch,
+// DRO, NDRO, RD, D2.
+constexpr std::array<ModuleNetlist, kUnitModuleCount> kModules{{
+    {"State machine", {17, 14, 8, 0, 20, 6, 0}, 196, 675, 265500.0, 69.7,
+     98.7},
+    {"Prioritization", {4, 9, 0, 0, 0, 0, 0}, 82, 157, 82800.0, 15.3, 28.0},
+    {"Base pointer (7-bit)", {8, 30, 3, 3, 0, 30, 6}, 1085, 1935, 709200.0,
+     208.5, 147.0},
+    {"Spike out", {2, 8, 0, 0, 0, 4, 0}, 91, 314, 129600.0, 32.2, 61.1},
+    {"Syndrome out", {0, 2, 0, 0, 0, 4, 0}, 18, 58, 25200.0, 5.4, 10.4},
+    {"Other", {0, 2, 0, 0, 0, 0, 0}, 0, 38, 62100.0, 5.0, 0.0},
+}};
+
+}  // namespace
+
+int ModuleNetlist::derived_jjs() const {
+  int total = wire_jjs;
+  for (int c = 0; c < kSfqCellCount; ++c) {
+    total += cells[static_cast<std::size_t>(c)] *
+             cell_spec(static_cast<SfqCell>(c)).jjs;
+  }
+  return total;
+}
+
+double ModuleNetlist::derived_cell_bias_ma() const {
+  double total = 0.0;
+  for (int c = 0; c < kSfqCellCount; ++c) {
+    total += cells[static_cast<std::size_t>(c)] *
+             cell_spec(static_cast<SfqCell>(c)).bias_ma;
+  }
+  return total;
+}
+
+double ModuleNetlist::derived_cell_area_um2() const {
+  double total = 0.0;
+  for (int c = 0; c < kSfqCellCount; ++c) {
+    total += cells[static_cast<std::size_t>(c)] *
+             cell_spec(static_cast<SfqCell>(c)).area_um2;
+  }
+  return total;
+}
+
+int ModuleNetlist::total_cell_instances() const {
+  int total = 0;
+  for (int count : cells) total += count;
+  return total;
+}
+
+const std::array<ModuleNetlist, kUnitModuleCount>& unit_modules() {
+  return kModules;
+}
+
+UnitBudget unit_budget() { return {}; }
+
+double unit_max_frequency_hz() {
+  return 1.0 / (unit_budget().critical_path_ps * 1e-12);
+}
+
+long long units_per_logical_qubit(int distance) {
+  return 2LL * distance * (distance - 1);
+}
+
+}  // namespace qec

@@ -1,0 +1,75 @@
+// The QECOOL hardware Unit netlist of Table II / Fig 6: per-module cell
+// instance counts, wire-JJ counts, and the published module budgets (JJs,
+// area, bias current, latency) from the AIST ADP cell library design.
+//
+// Two views are provided:
+//  - published_*: the numbers printed in Table II (used to regenerate it);
+//  - derived_*: bottom-up sums from cell instance counts x Table I specs
+//    plus wire JJs. The grand JJ total reconciles exactly (3177); the
+//    paper's per-module JJ splits do not decompose exactly into its own
+//    cell rows, which we surface rather than hide (see
+//    tests/sfq_netlist_test.cpp).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "sfq/cell_library.hpp"
+
+namespace qec {
+
+enum class UnitModule : std::uint8_t {
+  StateMachine,
+  Prioritization,
+  BasePointer,  // 7-bit Reg + base pointer
+  SpikeOut,
+  SyndromeOut,
+  Other,
+  kCount,
+};
+
+inline constexpr int kUnitModuleCount = static_cast<int>(UnitModule::kCount);
+
+struct ModuleNetlist {
+  std::string_view name;
+  /// Cell instance counts in Table I order (splitter..D2).
+  std::array<int, kSfqCellCount> cells{};
+  int wire_jjs = 0;
+
+  /// Published per-module budgets (Table II).
+  int published_jjs = 0;
+  double published_area_um2 = 0.0;
+  double published_bias_ma = 0.0;
+  double published_latency_ps = 0.0;  // 0 where the paper leaves it blank
+
+  /// Bottom-up JJ count: cell instances x JJs/cell + wire JJs.
+  int derived_jjs() const;
+  /// Bottom-up bias current from cell specs only (wire bias excluded; the
+  /// paper does not publish a per-wire-JJ bias figure).
+  double derived_cell_bias_ma() const;
+  double derived_cell_area_um2() const;
+  int total_cell_instances() const;
+};
+
+/// All six modules of one Unit, in Table II column order.
+const std::array<ModuleNetlist, kUnitModuleCount>& unit_modules();
+
+/// Whole-Unit published budgets (Table II "Total" column).
+struct UnitBudget {
+  int jjs = 3177;
+  double area_um2 = 1274400.0;  // 1.274 mm^2 (Fig 6: 1770 um x 720 um)
+  double bias_ma = 336.0;
+  double critical_path_ps = 215.0;
+};
+
+UnitBudget unit_budget();
+
+/// Maximum clock frequency implied by the critical path (about 5 GHz less
+/// margin; Section IV-C quotes "about 5 GHz").
+double unit_max_frequency_hz();
+
+/// Number of decoder Units per logical qubit: one per ancilla of both error
+/// sectors, 2 d (d-1) (Table V).
+long long units_per_logical_qubit(int distance);
+
+}  // namespace qec

@@ -1,0 +1,110 @@
+#include "sim/monte_carlo.hpp"
+
+#include "qecool/qecool_decoder.hpp"
+
+namespace qec {
+
+ExperimentConfig phenomenological_config(int distance, double p, int trials,
+                                         std::uint64_t seed) {
+  ExperimentConfig config;
+  config.distance = distance;
+  config.rounds = distance;
+  config.p_data = p;
+  config.p_meas = p;
+  config.trials = trials;
+  config.seed = seed;
+  return config;
+}
+
+ExperimentConfig code_capacity_config(int distance, double p, int trials,
+                                      std::uint64_t seed) {
+  ExperimentConfig config;
+  config.distance = distance;
+  config.rounds = 1;
+  config.p_data = p;
+  config.p_meas = 0.0;
+  config.trials = trials;
+  config.seed = seed;
+  return config;
+}
+
+void ExperimentResult::finalize() {
+  logical_error_rate =
+      trials ? static_cast<double>(failures) / static_cast<double>(trials)
+             : 0.0;
+  ci = wilson_interval(failures, trials);
+}
+
+namespace {
+
+Xoshiro256ss seeded_rng(const ExperimentConfig& config) {
+  // Mix the structural parameters into the seed so every (d, p, rounds)
+  // point draws an independent stream while staying reproducible.
+  std::uint64_t state = config.seed;
+  state ^= static_cast<std::uint64_t>(config.distance) * 0x9e3779b97f4a7c15ULL;
+  state ^= static_cast<std::uint64_t>(config.rounds) * 0xbf58476d1ce4e5b9ULL;
+  state ^= static_cast<std::uint64_t>(config.p_data * 1e12);
+  state ^= static_cast<std::uint64_t>(config.p_meas * 1e12) << 1;
+  std::uint64_t mixed = state;
+  return Xoshiro256ss(splitmix64(mixed));
+}
+
+NoiseParams noise_params(const ExperimentConfig& config) {
+  NoiseParams params;
+  params.p_data = config.p_data;
+  params.p_meas = config.p_meas;
+  params.rounds = config.rounds;
+  return params;
+}
+
+}  // namespace
+
+ExperimentResult run_memory_experiment(Decoder& decoder,
+                                       const ExperimentConfig& config) {
+  const PlanarLattice lattice(config.distance);
+  const NoiseParams params = noise_params(config);
+  Xoshiro256ss rng = seeded_rng(config);
+
+  ExperimentResult result;
+  auto* qecool = dynamic_cast<BatchQecoolDecoder*>(&decoder);
+  for (int trial = 0; trial < config.trials; ++trial) {
+    const SyndromeHistory history = sample_history(lattice, params, rng);
+    const DecodeResult decode = decoder.decode(lattice, history);
+    if (logical_failure(lattice, history, decode)) ++result.failures;
+    if (qecool) result.matches.merge(qecool->last_match_stats());
+    ++result.trials;
+  }
+  result.finalize();
+  return result;
+}
+
+ExperimentResult run_online_experiment(const ExperimentConfig& config,
+                                       const OnlineConfig& online) {
+  const PlanarLattice lattice(config.distance);
+  const NoiseParams params = noise_params(config);
+  Xoshiro256ss rng = seeded_rng(config);
+
+  ExperimentResult result;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    const SyndromeHistory history = sample_history(lattice, params, rng);
+    const OnlineResult run = run_online(lattice, history, online);
+    bool failed = run.failed_operationally();
+    if (failed) {
+      ++result.operational_failures;
+    } else {
+      DecodeResult decode;
+      decode.correction = run.correction;
+      failed = logical_failure(lattice, history, decode);
+    }
+    if (failed) ++result.failures;
+    result.matches.merge(run.matches);
+    for (std::uint64_t cycles : run.layer_cycles) {
+      result.layer_cycles.add(static_cast<double>(cycles));
+    }
+    ++result.trials;
+  }
+  result.finalize();
+  return result;
+}
+
+}  // namespace qec

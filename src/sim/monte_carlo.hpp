@@ -1,0 +1,53 @@
+// Monte Carlo memory experiments: sample a phenomenological-noise history,
+// decode it, apply the correction and score the logical observable — the
+// procedure behind every accuracy figure in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.hpp"
+#include "decoder/decoder.hpp"
+#include "qecool/online_runner.hpp"
+
+namespace qec {
+
+struct ExperimentConfig {
+  int distance = 5;
+  /// Noisy measurement rounds; the paper uses rounds = d for 3-D
+  /// experiments and rounds = 1 with p_meas = 0 for 2-D (code capacity).
+  int rounds = 5;
+  double p_data = 1e-3;
+  double p_meas = 1e-3;
+  int trials = 1000;
+  std::uint64_t seed = 2021;
+};
+
+/// Convenience constructors for the two standard settings.
+ExperimentConfig phenomenological_config(int distance, double p, int trials,
+                                         std::uint64_t seed = 2021);
+ExperimentConfig code_capacity_config(int distance, double p, int trials,
+                                      std::uint64_t seed = 2021);
+
+struct ExperimentResult {
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;            ///< logical errors (incl. operational)
+  std::uint64_t operational_failures = 0;  ///< overflow / failed drain (online)
+  double logical_error_rate = 0.0;
+  BinomialInterval ci;
+
+  RunningStats layer_cycles;  ///< per-layer execution cycles (Table III)
+  MatchStats matches;         ///< vertical-propagation stats (Fig 4b)
+
+  void finalize();
+};
+
+/// Batch experiment with any Decoder implementation.
+ExperimentResult run_memory_experiment(Decoder& decoder,
+                                       const ExperimentConfig& config);
+
+/// On-line QECOOL experiment (cycle-budgeted streaming decode).
+ExperimentResult run_online_experiment(const ExperimentConfig& config,
+                                       const OnlineConfig& online);
+
+}  // namespace qec

@@ -1,0 +1,102 @@
+#include "sim/threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qec {
+namespace {
+
+struct LogPoint {
+  double x = 0.0;  // log p
+  double y = 0.0;  // log pl
+};
+
+std::vector<LogPoint> to_log(const DistanceCurve& curve) {
+  std::vector<LogPoint> out;
+  for (const auto& pt : curve.points) {
+    if (pt.p > 0.0 && pt.pl > 0.0) {
+      out.push_back({std::log(pt.p), std::log(pt.pl)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogPoint& a, const LogPoint& b) { return a.x < b.x; });
+  return out;
+}
+
+// Piecewise-linear evaluation with clamped extrapolation disabled: returns
+// nullopt outside the sampled range.
+std::optional<double> eval(const std::vector<LogPoint>& pts, double x) {
+  if (pts.size() < 2 || x < pts.front().x || x > pts.back().x) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (x <= pts[i].x) {
+      const double t = (x - pts[i - 1].x) / (pts[i].x - pts[i - 1].x);
+      return pts[i - 1].y + t * (pts[i].y - pts[i - 1].y);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<double> curve_crossing(const DistanceCurve& a,
+                                     const DistanceCurve& b) {
+  const auto la = to_log(a);
+  const auto lb = to_log(b);
+  if (la.size() < 2 || lb.size() < 2) return std::nullopt;
+  const double lo = std::max(la.front().x, lb.front().x);
+  const double hi = std::min(la.back().x, lb.back().x);
+  if (lo >= hi) return std::nullopt;
+
+  // Scan for a sign change of (curve_a - curve_b) on a fine grid, then
+  // bisect. The higher-distance curve must go from below to above (or the
+  // reverse); either direction counts as a crossing.
+  constexpr int kGrid = 256;
+  auto diff = [&](double x) -> std::optional<double> {
+    const auto ya = eval(la, x);
+    const auto yb = eval(lb, x);
+    if (!ya || !yb) return std::nullopt;
+    return *ya - *yb;
+  };
+  std::optional<double> prev;
+  double prev_x = lo;
+  for (int i = 0; i <= kGrid; ++i) {
+    const double x = lo + (hi - lo) * i / kGrid;
+    const auto d = diff(x);
+    if (!d) continue;
+    if (prev && ((*prev < 0 && *d >= 0) || (*prev > 0 && *d <= 0))) {
+      double xl = prev_x, xr = x;
+      for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (xl + xr);
+        const auto dm = diff(mid);
+        if (!dm) break;
+        if ((*prev < 0) == (*dm < 0)) {
+          xl = mid;
+        } else {
+          xr = mid;
+        }
+      }
+      return std::exp(0.5 * (xl + xr));
+    }
+    prev = d;
+    prev_x = x;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> estimate_threshold(
+    const std::vector<DistanceCurve>& curves) {
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t i = 1; i < curves.size(); ++i) {
+    if (const auto x = curve_crossing(curves[i - 1], curves[i])) {
+      sum += *x;
+      ++count;
+    }
+  }
+  if (count == 0) return std::nullopt;
+  return sum / count;
+}
+
+}  // namespace qec

@@ -1,0 +1,35 @@
+// Threshold estimation from logical-error-rate curves.
+//
+// The paper defines the threshold p_th as the physical error rate where the
+// p_L(p) curves for different code distances cross (Section III-C). We
+// estimate it the same way: interpolate each pair of consecutive-distance
+// curves in log-log space, find their crossing, and average the crossings.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace qec {
+
+struct CurvePoint {
+  double p = 0.0;   ///< physical error rate
+  double pl = 0.0;  ///< logical error rate
+};
+
+struct DistanceCurve {
+  int distance = 0;
+  std::vector<CurvePoint> points;  ///< ascending in p
+};
+
+/// Crossing of two curves in log-log space (linear interpolation between
+/// sample points). Returns nullopt when the curves do not cross within the
+/// sampled range. Points with pl == 0 are skipped (no log).
+std::optional<double> curve_crossing(const DistanceCurve& a,
+                                     const DistanceCurve& b);
+
+/// Averaged pairwise crossing of consecutive-distance curves; nullopt when
+/// no pair crosses.
+std::optional<double> estimate_threshold(
+    const std::vector<DistanceCurve>& curves);
+
+}  // namespace qec

@@ -1,0 +1,82 @@
+#include "surface_code/ascii_render.hpp"
+
+#include <sstream>
+
+namespace qec {
+namespace {
+
+char data_char(std::span<const std::uint8_t> bits,
+               std::span<const std::uint8_t> overlay, int q,
+               const RenderOptions& opt) {
+  const bool primary =
+      !bits.empty() && bits[static_cast<std::size_t>(q)] != 0;
+  const bool secondary =
+      !overlay.empty() && overlay[static_cast<std::size_t>(q)] != 0;
+  if (primary && secondary) return opt.both_mark;
+  if (primary) return opt.data_marked;
+  if (secondary) return opt.overlay_mark;
+  return opt.data_clean;
+}
+
+}  // namespace
+
+std::string render_lattice(const PlanarLattice& lattice,
+                           std::span<const std::uint8_t> data_bits,
+                           std::span<const std::uint8_t> check_bits,
+                           std::span<const std::uint8_t> overlay,
+                           const RenderOptions& options) {
+  std::ostringstream out;
+  const int d = lattice.distance();
+  for (int r = 0; r < d; ++r) {
+    // Check row: | q [c] q [c] q |
+    out << '|';
+    for (int c = 0; c < d; ++c) {
+      out << ' ' << data_char(data_bits, overlay,
+                              lattice.horizontal_qubit(r, c), options);
+      if (c < d - 1) {
+        const bool lit = !check_bits.empty() &&
+                         check_bits[static_cast<std::size_t>(
+                             lattice.check_index(r, c))] != 0;
+        out << ' ' << (lit ? "[*]" : "[ ]");
+      }
+    }
+    out << " |\n";
+    // Vertical-qubit row between check rows.
+    if (r < d - 1) {
+      out << '|';
+      for (int c = 0; c < d; ++c) {
+        out << "  ";
+        if (c < d - 1) {
+          out << "  "
+              << data_char(data_bits, overlay, lattice.vertical_qubit(r, c),
+                           options);
+        }
+      }
+      // Pad to align with the check rows (cosmetic only).
+      out << "  |\n";
+    }
+  }
+  return out.str();
+}
+
+std::string render_error(const PlanarLattice& lattice, const BitVec& error) {
+  return render_lattice(lattice, error, lattice.syndrome(error));
+}
+
+std::string render_decode(const PlanarLattice& lattice, const BitVec& error,
+                          const BitVec& correction) {
+  const BitVec residual = xor_of(error, correction);
+  std::string out =
+      render_lattice(lattice, error, lattice.syndrome(error), correction);
+  out += "legend: x=error o=correction #=both [*]=lit check\n";
+  if (!is_zero(lattice.syndrome(residual))) {
+    out += "residual: LIVE SYNDROME (invalid decode)\n";
+  } else if (lattice.logical_flip(residual)) {
+    out += "residual: LOGICAL ERROR\n";
+  } else {
+    out += "residual: clean (decode succeeded)\n";
+  }
+  return out;
+}
+
+}  // namespace qec

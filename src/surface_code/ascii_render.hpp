@@ -1,0 +1,47 @@
+// ASCII rendering of lattice states — errors, syndromes, corrections —
+// for debugging, documentation and the visualize_decode example.
+//
+// Layout mirrors Fig 1/Fig 2 of the paper: checks are squares on a
+// d x (d-1) grid, horizontal data qubits sit between them (and against the
+// rough left/right boundaries), vertical data qubits between rows.
+//
+//     |  .  [ ]  .  [*]  .  |        . : clean data qubit
+//     |           x         |        x : flagged data qubit (error/corr.)
+//     |  .  [ ]  .  [ ]  .  |        [ ]/[*] : check, clean/lit
+//
+#pragma once
+
+#include <string>
+
+#include "surface_code/pauli_frame.hpp"
+#include "surface_code/planar_lattice.hpp"
+
+namespace qec {
+
+struct RenderOptions {
+  char data_clean = '.';
+  char data_marked = 'x';
+  /// Mark for data qubits set in an optional second overlay (e.g. the
+  /// correction on top of the error); cells set in both show `both_mark`.
+  char overlay_mark = 'o';
+  char both_mark = '#';
+};
+
+/// Renders one layer: `data_bits` over data qubits (may be empty) and
+/// `check_bits` over checks (may be empty). Optional `overlay` is a second
+/// data-qubit pattern drawn with overlay_mark / both_mark.
+std::string render_lattice(const PlanarLattice& lattice,
+                           std::span<const std::uint8_t> data_bits,
+                           std::span<const std::uint8_t> check_bits,
+                           std::span<const std::uint8_t> overlay = {},
+                           const RenderOptions& options = {});
+
+/// Convenience: error + syndrome of that error.
+std::string render_error(const PlanarLattice& lattice, const BitVec& error);
+
+/// Convenience: error with correction overlay plus the residual's verdict
+/// line ("residual clean/logical error/live syndrome").
+std::string render_decode(const PlanarLattice& lattice, const BitVec& error,
+                          const BitVec& correction);
+
+}  // namespace qec

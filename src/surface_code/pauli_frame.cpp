@@ -1,0 +1,35 @@
+#include "surface_code/pauli_frame.hpp"
+
+#include <cassert>
+
+namespace qec {
+
+int weight(std::span<const std::uint8_t> bits) {
+  int w = 0;
+  for (std::uint8_t b : bits) w += b != 0;
+  return w;
+}
+
+void xor_into(std::span<const std::uint8_t> in, BitVec& out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] ^= in[i];
+}
+
+BitVec xor_of(std::span<const std::uint8_t> a,
+              std::span<const std::uint8_t> b) {
+  assert(a.size() == b.size());
+  BitVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
+  return out;
+}
+
+bool is_zero(std::span<const std::uint8_t> bits) {
+  for (std::uint8_t b : bits) {
+    if (b) return false;
+  }
+  return true;
+}
+
+}  // namespace qec

@@ -1,0 +1,26 @@
+// Small helpers for manipulating binary error / correction vectors
+// ("Pauli frames" restricted to one error sector).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qec {
+
+/// One-sector Pauli frame: a binary vector over data qubits.
+using BitVec = std::vector<std::uint8_t>;
+
+/// Number of set entries.
+int weight(std::span<const std::uint8_t> bits);
+
+/// out ^= in (sizes must match).
+void xor_into(std::span<const std::uint8_t> in, BitVec& out);
+
+/// a XOR b as a new vector (sizes must match).
+BitVec xor_of(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+/// True if every entry is zero.
+bool is_zero(std::span<const std::uint8_t> bits);
+
+}  // namespace qec

@@ -1,0 +1,138 @@
+#include "surface_code/planar_lattice.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace qec {
+
+Direction opposite(Direction dir) {
+  switch (dir) {
+    case Direction::North: return Direction::South;
+    case Direction::East: return Direction::West;
+    case Direction::South: return Direction::North;
+    case Direction::West: return Direction::East;
+  }
+  std::abort();  // unreachable: all enumerators handled
+}
+
+PlanarLattice::PlanarLattice(int distance) : d_(distance) {
+  if (d_ < 2) throw std::invalid_argument("code distance must be >= 2");
+  check_supports_.resize(static_cast<std::size_t>(num_checks()));
+  qubit_checks_.resize(static_cast<std::size_t>(num_data()));
+  for (int r = 0; r < check_rows(); ++r) {
+    for (int c = 0; c < check_cols(); ++c) {
+      auto& support = check_supports_[static_cast<std::size_t>(check_index(r, c))];
+      support.push_back(horizontal_qubit(r, c));
+      support.push_back(horizontal_qubit(r, c + 1));
+      if (r > 0) support.push_back(vertical_qubit(r - 1, c));
+      if (r < d_ - 1) support.push_back(vertical_qubit(r, c));
+      for (int q : support) {
+        qubit_checks_[static_cast<std::size_t>(q)].push_back(check_index(r, c));
+      }
+    }
+  }
+}
+
+int PlanarLattice::check_index(int row, int col) const {
+  assert(row >= 0 && row < check_rows() && col >= 0 && col < check_cols());
+  return row * check_cols() + col;
+}
+
+CheckCoord PlanarLattice::check_coord(int index) const {
+  assert(index >= 0 && index < num_checks());
+  return {index / check_cols(), index % check_cols()};
+}
+
+int PlanarLattice::horizontal_qubit(int row, int k) const {
+  assert(row >= 0 && row < d_ && k >= 0 && k < d_);
+  return row * d_ + k;
+}
+
+int PlanarLattice::vertical_qubit(int row, int col) const {
+  assert(row >= 0 && row < d_ - 1 && col >= 0 && col < d_ - 1);
+  return d_ * d_ + row * (d_ - 1) + col;
+}
+
+bool PlanarLattice::is_horizontal(int qubit) const {
+  return qubit < d_ * d_;
+}
+
+std::span<const int> PlanarLattice::check_support(int row, int col) const {
+  return check_supports_[static_cast<std::size_t>(check_index(row, col))];
+}
+
+std::span<const int> PlanarLattice::qubit_checks(int qubit) const {
+  assert(qubit >= 0 && qubit < num_data());
+  return qubit_checks_[static_cast<std::size_t>(qubit)];
+}
+
+std::vector<std::uint8_t> PlanarLattice::syndrome(
+    std::span<const std::uint8_t> error) const {
+  assert(static_cast<int>(error.size()) == num_data());
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(num_checks()), 0);
+  for (int q = 0; q < num_data(); ++q) {
+    if (!error[static_cast<std::size_t>(q)]) continue;
+    for (int chk : qubit_checks_[static_cast<std::size_t>(q)]) {
+      out[static_cast<std::size_t>(chk)] ^= 1;
+    }
+  }
+  return out;
+}
+
+void PlanarLattice::apply_flips(std::span<const std::uint8_t> flips,
+                                std::vector<std::uint8_t>& error) {
+  assert(flips.size() == error.size());
+  for (std::size_t i = 0; i < flips.size(); ++i) error[i] ^= flips[i];
+}
+
+bool PlanarLattice::logical_flip(std::span<const std::uint8_t> error) const {
+  assert(static_cast<int>(error.size()) == num_data());
+  // Parity of errors crossing the cut between the left boundary and column 0
+  // of the check grid: the horizontal qubits (row, 0). Any left-to-right
+  // spanning chain crosses this cut an odd number of times; loops and
+  // boundary-to-same-boundary chains cross it evenly.
+  int parity = 0;
+  for (int r = 0; r < d_; ++r) {
+    parity ^= error[static_cast<std::size_t>(horizontal_qubit(r, 0))];
+  }
+  return parity != 0;
+}
+
+std::vector<int> PlanarLattice::l_path(CheckCoord from, CheckCoord to) const {
+  std::vector<int> path;
+  // Vertical leg: from (from.row, from.col) toward (to.row, from.col).
+  const int step_r = from.row < to.row ? 1 : -1;
+  for (int r = from.row; r != to.row; r += step_r) {
+    const int top = std::min(r, r + step_r);
+    path.push_back(vertical_qubit(top, from.col));
+  }
+  // Horizontal leg along to.row: between columns from.col and to.col the
+  // interior edges are horizontal_qubit(to.row, k) for k in (min+1 .. max).
+  const int lo = std::min(from.col, to.col);
+  const int hi = std::max(from.col, to.col);
+  for (int k = lo + 1; k <= hi; ++k) {
+    path.push_back(horizontal_qubit(to.row, k));
+  }
+  return path;
+}
+
+std::vector<int> PlanarLattice::boundary_path(CheckCoord c) const {
+  std::vector<int> path;
+  const int left = c.col + 1;
+  const int right = d_ - 1 - c.col;
+  if (left <= right) {
+    for (int k = 0; k <= c.col; ++k) path.push_back(horizontal_qubit(c.row, k));
+  } else {
+    for (int k = c.col + 1; k < d_; ++k) {
+      path.push_back(horizontal_qubit(c.row, k));
+    }
+  }
+  return path;
+}
+
+int PlanarLattice::boundary_distance(int col) const {
+  return std::min(col + 1, d_ - 1 - col);
+}
+
+}  // namespace qec

@@ -1,0 +1,111 @@
+// Geometry of one error sector of a distance-d planar surface code.
+//
+// The paper (Fig 1, Table V) uses the planar code of Dennis et al. / Fowler
+// et al.: data qubits on the edges of a square lattice, with one sector of
+// checks detecting Pauli-X errors and the complementary sector detecting
+// Pauli-Z errors. Because the two sectors decode independently (paper
+// footnote 2), the whole evaluation runs on a single sector, which we model
+// explicitly:
+//
+//   - Checks (ancilla qubits / decoder Units) form a grid of d rows by
+//     (d-1) columns — exactly the d x (d-1) Unit array of Section IV-A.
+//   - "Horizontal" data qubits sit between horizontally adjacent checks and
+//     between edge checks and the left/right (rough) boundaries: d per row,
+//     d rows.
+//   - "Vertical" data qubits sit between vertically adjacent checks:
+//     (d-1) x (d-1).
+//   - Total data qubits: d^2 + (d-1)^2.
+//
+// An X error on a data qubit flips the 1 or 2 adjacent checks. Error chains
+// may terminate on the left/right boundaries; the logical-X operator is any
+// left-to-right chain, so a residual error is a logical error iff it crosses
+// the cut next to the left boundary an odd number of times.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qec {
+
+/// Direction of travel on the check grid; matches the spike-routing
+/// directions in Algorithm 1 (north = decreasing row).
+enum class Direction : std::uint8_t { North, East, South, West };
+
+/// Returns the 180-degree rotation, i.e. Algorithm 1's rotate(S) used to
+/// derive the syndrome write-back direction from an incoming spike port.
+Direction opposite(Direction dir);
+
+/// A check-grid coordinate. Row in [0, d), column in [0, d-1).
+struct CheckCoord {
+  int row = 0;
+  int col = 0;
+  friend bool operator==(const CheckCoord&, const CheckCoord&) = default;
+};
+
+class PlanarLattice {
+ public:
+  /// Constructs the sector for odd code distance d >= 3.
+  explicit PlanarLattice(int distance);
+
+  int distance() const { return d_; }
+
+  // --- Checks (ancilla qubits / decoder Units) -----------------------------
+  int check_rows() const { return d_; }
+  int check_cols() const { return d_ - 1; }
+  int num_checks() const { return d_ * (d_ - 1); }
+  int check_index(int row, int col) const;
+  CheckCoord check_coord(int index) const;
+
+  // --- Data qubits ----------------------------------------------------------
+  // Horizontal data qubit (row, k): the k-th edge along `row`, k in [0, d).
+  // k = 0 touches the left boundary, k = d-1 the right boundary.
+  // Vertical data qubit (row, col): between checks (row, col) and
+  // (row+1, col); row in [0, d-1), col in [0, d-1).
+  int num_data() const { return d_ * d_ + (d_ - 1) * (d_ - 1); }
+  int horizontal_qubit(int row, int k) const;
+  int vertical_qubit(int row, int col) const;
+  bool is_horizontal(int qubit) const;
+
+  /// Data qubits stabilised by check (row, col): 3 on the top/bottom rows,
+  /// 4 elsewhere.
+  std::span<const int> check_support(int row, int col) const;
+
+  /// Checks adjacent to a data qubit: 1 for boundary-touching horizontal
+  /// qubits, 2 otherwise. Entries are check indices.
+  std::span<const int> qubit_checks(int qubit) const;
+
+  // --- Syndromes and logical observable --------------------------------------
+  /// True syndrome of an error pattern (one byte per data qubit, value 0/1).
+  std::vector<std::uint8_t> syndrome(std::span<const std::uint8_t> error) const;
+
+  /// XORs `flips` into `error` (both sized num_data()).
+  static void apply_flips(std::span<const std::uint8_t> flips,
+                          std::vector<std::uint8_t>& error);
+
+  /// Whether `error` anticommutes with the logical operator of this sector,
+  /// i.e. crosses the left boundary cut an odd number of times. Any
+  /// homologically trivial pattern (syndrome-free and non-spanning) returns
+  /// false.
+  bool logical_flip(std::span<const std::uint8_t> error) const;
+
+  /// Shortest-path data qubits between two checks, routed like the spike /
+  /// syndrome signals of Algorithm 1: first vertically from `from` to
+  /// `to.row`, then horizontally along that row (an "L" path).
+  std::vector<int> l_path(CheckCoord from, CheckCoord to) const;
+
+  /// Data qubits between check `c` and the nearer of the two rough
+  /// boundaries (ties resolved toward the left boundary).
+  std::vector<int> boundary_path(CheckCoord c) const;
+
+  /// Hop distance from a check to the nearest rough boundary:
+  /// min(col + 1, d - 1 - col). Equals boundary_path(c).size().
+  int boundary_distance(int col) const;
+
+ private:
+  int d_;
+  std::vector<std::vector<int>> check_supports_;   // [check] -> qubits
+  std::vector<std::vector<int>> qubit_checks_;     // [qubit] -> checks
+};
+
+}  // namespace qec

@@ -1,0 +1,29 @@
+// Union-Find decoder [Delfosse & Nickerson 2017] on the space-time lattice —
+// the "UF" row of Table IV (p_th 9.9% in 2-D / 2.6% in 3-D, per the paper).
+//
+// This is the standard two-stage decoder:
+//  1. Syndrome validation: every odd cluster of defects grows by half an
+//     edge per round in all directions; clusters merge when their grown
+//     regions meet, and stop growing once their defect parity is even or
+//     they touch a rough boundary.
+//  2. Peeling: a spanning forest of each cluster's erasure (the fully grown
+//     edges) is peeled leaf-to-root, emitting a correction edge whenever the
+//     peeled leaf carries a defect.
+//
+// Spatial edges map 1:1 to data qubits; temporal edges (measurement errors)
+// produce no data correction.
+#pragma once
+
+#include "decoder/decoder.hpp"
+
+namespace qec {
+
+class UnionFindDecoder final : public Decoder {
+ public:
+  std::string name() const override { return "Union-Find"; }
+
+  DecodeResult decode(const PlanarLattice& lattice,
+                      const SyndromeHistory& history) override;
+};
+
+}  // namespace qec

@@ -1,0 +1,49 @@
+#include "unionfind/union_find.hpp"
+
+#include <utility>
+
+namespace qec {
+
+ClusterSets::ClusterSets(int n)
+    : parent_(static_cast<std::size_t>(n)),
+      size_(static_cast<std::size_t>(n), 1),
+      parity_(static_cast<std::size_t>(n), 0),
+      boundary_(static_cast<std::size_t>(n), 0) {
+  for (int v = 0; v < n; ++v) parent_[static_cast<std::size_t>(v)] = v;
+}
+
+int ClusterSets::find(int v) {
+  while (parent_[static_cast<std::size_t>(v)] != v) {
+    parent_[static_cast<std::size_t>(v)] =
+        parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])];
+    v = parent_[static_cast<std::size_t>(v)];
+  }
+  return v;
+}
+
+int ClusterSets::unite(int a, int b) {
+  int ra = find(a);
+  int rb = find(b);
+  if (ra == rb) return ra;
+  if (size_[static_cast<std::size_t>(ra)] < size_[static_cast<std::size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+  parity_[static_cast<std::size_t>(ra)] ^= parity_[static_cast<std::size_t>(rb)];
+  boundary_[static_cast<std::size_t>(ra)] |=
+      boundary_[static_cast<std::size_t>(rb)];
+  return ra;
+}
+
+void ClusterSets::toggle_parity(int v) {
+  const int r = find(v);
+  parity_[static_cast<std::size_t>(r)] ^= 1;
+}
+
+void ClusterSets::mark_boundary(int v) {
+  const int r = find(v);
+  boundary_[static_cast<std::size_t>(r)] = 1;
+}
+
+}  // namespace qec

@@ -1,0 +1,41 @@
+// Disjoint-set forest with the cluster metadata the Union-Find decoder
+// needs: defect parity and boundary contact per cluster root.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qec {
+
+class ClusterSets {
+ public:
+  explicit ClusterSets(int n);
+
+  int find(int v);
+  /// Unions the clusters of a and b; returns the surviving root.
+  int unite(int a, int b);
+
+  /// Flips the defect parity of v's cluster.
+  void toggle_parity(int v);
+  bool odd(int v) { return parity_[static_cast<std::size_t>(find(v))]; }
+
+  /// Marks v's cluster as touching a (rough) boundary.
+  void mark_boundary(int v);
+  bool touches_boundary(int v) {
+    return boundary_[static_cast<std::size_t>(find(v))];
+  }
+
+  /// A cluster is active (keeps growing) while it is odd and not yet
+  /// boundary-connected.
+  bool active(int v) { return odd(v) && !touches_boundary(v); }
+
+  int size(int v) { return size_[static_cast<std::size_t>(find(v))]; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  std::vector<std::uint8_t> parity_;
+  std::vector<std::uint8_t> boundary_;
+};
+
+}  // namespace qec

@@ -1,0 +1,74 @@
+// Tests for the ASCII lattice renderer.
+#include "surface_code/ascii_render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace qec {
+namespace {
+
+TEST(AsciiRender, CleanLatticeHasNoMarks) {
+  const PlanarLattice lat(3);
+  const BitVec none(static_cast<std::size_t>(lat.num_data()), 0);
+  const std::string out = render_error(lat, none);
+  EXPECT_EQ(out.find('x'), std::string::npos);
+  EXPECT_EQ(out.find("[*]"), std::string::npos);
+  EXPECT_NE(out.find("[ ]"), std::string::npos);
+}
+
+TEST(AsciiRender, ErrorAndSyndromeAppear) {
+  const PlanarLattice lat(3);
+  BitVec err(static_cast<std::size_t>(lat.num_data()), 0);
+  err[static_cast<std::size_t>(lat.horizontal_qubit(1, 1))] = 1;
+  const std::string out = render_error(lat, err);
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find("[*]"), std::string::npos);
+}
+
+TEST(AsciiRender, LineCountMatchesGeometry) {
+  for (int d : {3, 5, 7}) {
+    const PlanarLattice lat(d);
+    const BitVec none(static_cast<std::size_t>(lat.num_data()), 0);
+    const std::string out = render_error(lat, none);
+    const long lines = std::count(out.begin(), out.end(), '\n');
+    EXPECT_EQ(lines, 2 * d - 1) << "d=" << d;
+  }
+}
+
+TEST(AsciiRender, OverlayMarksDistinguishErrorAndCorrection) {
+  const PlanarLattice lat(3);
+  BitVec err(static_cast<std::size_t>(lat.num_data()), 0);
+  BitVec corr(static_cast<std::size_t>(lat.num_data()), 0);
+  err[static_cast<std::size_t>(lat.horizontal_qubit(0, 0))] = 1;   // x
+  corr[static_cast<std::size_t>(lat.horizontal_qubit(2, 2))] = 1;  // o
+  err[static_cast<std::size_t>(lat.horizontal_qubit(1, 1))] = 1;   // #
+  corr[static_cast<std::size_t>(lat.horizontal_qubit(1, 1))] = 1;
+  const std::string out = render_decode(lat, err, corr);
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiRender, VerdictLines) {
+  const PlanarLattice lat(3);
+  BitVec err(static_cast<std::size_t>(lat.num_data()), 0);
+  err[static_cast<std::size_t>(lat.horizontal_qubit(1, 1))] = 1;
+  // Perfect correction: clean verdict.
+  EXPECT_NE(render_decode(lat, err, err).find("decode succeeded"),
+            std::string::npos);
+  // No correction: live syndrome verdict.
+  const BitVec none(static_cast<std::size_t>(lat.num_data()), 0);
+  EXPECT_NE(render_decode(lat, err, none).find("LIVE SYNDROME"),
+            std::string::npos);
+  // Logical operator as "residual": logical error verdict.
+  BitVec logical(static_cast<std::size_t>(lat.num_data()), 0);
+  for (int k = 0; k < 3; ++k) {
+    logical[static_cast<std::size_t>(lat.horizontal_qubit(0, k))] = 1;
+  }
+  EXPECT_NE(render_decode(lat, logical, none).find("LOGICAL ERROR"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qec

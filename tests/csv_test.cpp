@@ -1,0 +1,59 @@
+// Tests for the CSV writer.
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace qec {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/qecool_csv_test.csv";
+};
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"d", "p", "pl"});
+    ASSERT_TRUE(csv.ok());
+    csv.add_row(std::vector<double>{5, 0.01, 0.002});
+    csv.add_row(std::vector<std::string>{"7", "0.02", "1e-3"});
+  }
+  EXPECT_EQ(slurp(path_), "d,p,pl\n5,0.01,0.002\n7,0.02,1e-3\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv(path_, {"name", "note"});
+    csv.add_row(std::vector<std::string>{"a,b", "say \"hi\""});
+  }
+  EXPECT_EQ(slurp(path_), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, PadsShortRows) {
+  {
+    CsvWriter csv(path_, {"a", "b", "c"});
+    csv.add_row(std::vector<std::string>{"1"});
+  }
+  EXPECT_EQ(slurp(path_), "a,b,c\n1,,\n");
+}
+
+TEST(CsvFailure, UnwritablePathIsNoop) {
+  CsvWriter csv("/nonexistent_dir_zz/x.csv", {"a"});
+  EXPECT_FALSE(csv.ok());
+  csv.add_row(std::vector<std::string>{"1"});  // must not crash
+}
+
+}  // namespace
+}  // namespace qec

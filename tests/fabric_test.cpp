@@ -1,0 +1,62 @@
+// Tests for the system-level decoder fabric model.
+#include "sfq/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sfq/power.hpp"
+#include "sfq/unit_netlist.hpp"
+
+namespace qec {
+namespace {
+
+TEST(Fabric, SingleLogicalQubitBom) {
+  const auto r = build_fabric({1, 9, 2e9});
+  EXPECT_EQ(r.units, 144);
+  EXPECT_EQ(r.controllers, 2);
+  EXPECT_EQ(r.row_masters, 18);
+  EXPECT_EQ(r.boundary_units, 4);
+  EXPECT_EQ(r.total_jjs, 144LL * 3177);
+  EXPECT_NEAR(r.area_mm2, 144 * 1.2744, 0.01);
+  EXPECT_NEAR(r.ersfq_power_w * 1e6, 144 * 2.78, 1.0);
+  EXPECT_EQ(r.physical_data_qubits, 81 + 64);
+  EXPECT_EQ(r.physical_ancilla_qubits, 144);
+}
+
+TEST(Fabric, ScalesLinearlyInLogicalQubits) {
+  const auto one = build_fabric({1, 9, 2e9});
+  const auto many = build_fabric({2498, 9, 2e9});
+  EXPECT_EQ(many.units, 2498 * one.units);
+  EXPECT_NEAR(many.ersfq_power_w, 2498 * one.ersfq_power_w, 1e-9);
+  // The paper's headline configuration just fits 1 W.
+  EXPECT_TRUE(many.fits_power(kFourKelvinBudgetW));
+  const auto too_many = build_fabric({2499, 9, 2e9});
+  EXPECT_FALSE(too_many.fits_power(kFourKelvinBudgetW));
+}
+
+TEST(Fabric, RsfqIsInfeasibleAtScale) {
+  const auto r = build_fabric({2498, 9, 2e9});
+  EXPECT_GT(r.rsfq_power_w, 100.0) << "RSFQ static power blows the budget";
+}
+
+TEST(Fabric, MaxLogicalQubitsMatchesTableV) {
+  EXPECT_EQ(max_logical_qubits(9, 2e9, 1.0), 2498);
+}
+
+TEST(Fabric, AreaIsRoomScaleButTractable) {
+  // ~2500 qubits x 144 units x 1.27 mm^2 ~ 0.46 m^2 of SFQ — large but
+  // finite; the model exposes it for feasibility discussions.
+  const auto r = build_fabric({2498, 9, 2e9});
+  EXPECT_GT(r.area_mm2, 4e5);
+  EXPECT_LT(r.area_mm2, 6e5);
+}
+
+TEST(Fabric, HigherDistanceCostsMore) {
+  const auto d9 = build_fabric({1, 9, 2e9});
+  const auto d13 = build_fabric({1, 13, 2e9});
+  EXPECT_GT(d13.units, d9.units);
+  EXPECT_GT(d13.ersfq_power_w, d9.ersfq_power_w);
+  EXPECT_GT(d13.physical_data_qubits, d9.physical_data_qubits);
+}
+
+}  // namespace
+}  // namespace qec

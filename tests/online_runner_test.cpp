@@ -1,0 +1,128 @@
+// Tests for the on-line QECOOL runner: cadence budgets, Reg overflow, drain.
+#include "qecool/online_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decoder/decoder.hpp"
+#include "noise/phenomenological.hpp"
+#include "surface_code/pauli_frame.hpp"
+
+namespace qec {
+namespace {
+
+TEST(OnlineRunner, CleanHistoryDrainsTrivially) {
+  const PlanarLattice lat(5);
+  Xoshiro256ss rng(1);
+  const auto h = sample_history(lat, {0.0, 0.0, 5}, rng);
+  OnlineConfig config;
+  config.cycles_per_round = 2000;
+  const auto r = run_online(lat, h, config);
+  EXPECT_FALSE(r.overflow);
+  EXPECT_TRUE(r.drained);
+  EXPECT_TRUE(is_zero(r.correction));
+  EXPECT_EQ(static_cast<int>(r.layer_cycles.size()), h.total_rounds());
+}
+
+TEST(OnlineRunner, UnlimitedBudgetNeverOverflows) {
+  const PlanarLattice lat(9);
+  Xoshiro256ss rng(2);
+  OnlineConfig config;  // cycles_per_round = 0: unconstrained
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto h = sample_history(lat, {0.01, 0.01, 9}, rng);
+    const auto r = run_online(lat, h, config);
+    ASSERT_FALSE(r.overflow);
+    ASSERT_TRUE(r.drained);
+    DecodeResult dr;
+    dr.correction = r.correction;
+    ASSERT_TRUE(residual_syndrome_free(lat, h, dr));
+  }
+}
+
+TEST(OnlineRunner, TinyBudgetOverflowsUnderLoad) {
+  const PlanarLattice lat(13);
+  Xoshiro256ss rng(3);
+  OnlineConfig slow;
+  slow.cycles_per_round = 2;  // absurdly slow decoder clock
+  int overflows = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto h = sample_history(lat, {0.02, 0.02, 13}, rng);
+    overflows += run_online(lat, h, slow).overflow;
+  }
+  EXPECT_GT(overflows, 10) << "a 2-cycle budget cannot keep up at d=13";
+}
+
+TEST(OnlineRunner, HigherFrequencyNeverHurtsDrainage) {
+  const PlanarLattice lat(11);
+  Xoshiro256ss rng(4);
+  OnlineConfig mhz500, ghz2;
+  mhz500.cycles_per_round = cycles_per_microsecond(500e6);
+  ghz2.cycles_per_round = cycles_per_microsecond(2e9);
+  int slow_overflow = 0, fast_overflow = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto h = sample_history(lat, {0.015, 0.015, 11}, rng);
+    slow_overflow += run_online(lat, h, mhz500).failed_operationally();
+    fast_overflow += run_online(lat, h, ghz2).failed_operationally();
+  }
+  EXPECT_LE(fast_overflow, slow_overflow);
+}
+
+TEST(OnlineRunner, CyclesPerMicrosecondHelper) {
+  EXPECT_EQ(cycles_per_microsecond(2e9), 2000u);
+  EXPECT_EQ(cycles_per_microsecond(1e9), 1000u);
+  EXPECT_EQ(cycles_per_microsecond(500e6), 500u);
+}
+
+TEST(OnlineRunner, MatchStatsAccumulate) {
+  const PlanarLattice lat(5);
+  Xoshiro256ss rng(5);
+  OnlineConfig config;
+  config.cycles_per_round = 2000;
+  int with_matches = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto h = sample_history(lat, {0.05, 0.05, 5}, rng);
+    const auto r = run_online(lat, h, config);
+    if (r.matches.total() > 0) ++with_matches;
+  }
+  EXPECT_GT(with_matches, 5);
+}
+
+TEST(OnlineRunner, OnlineAndBatchAgreeOnIsolatedErrors) {
+  // For a single data error the on-line decoder must produce exactly the
+  // same (unique, minimal) correction as batch.
+  const PlanarLattice lat(5);
+  const int q = lat.horizontal_qubit(2, 2);
+  SyndromeHistory h;
+  h.final_error.assign(static_cast<std::size_t>(lat.num_data()), 0);
+  h.final_error[static_cast<std::size_t>(q)] = 1;
+  const BitVec synd = lat.syndrome(h.final_error);
+  const BitVec clean(static_cast<std::size_t>(lat.num_checks()), 0);
+  h.measured = {clean, synd, synd, synd, synd};
+  h.difference = difference_syndromes(h.measured);
+
+  OnlineConfig config;
+  config.cycles_per_round = 2000;
+  const auto r = run_online(lat, h, config);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.correction, h.final_error);
+}
+
+TEST(OnlineRunner, RegDepthAblation) {
+  // Shrinking the Reg queue to the minimum (thv + 1) must only increase
+  // overflow incidence relative to the paper's 7-entry margin.
+  const PlanarLattice lat(13);
+  Xoshiro256ss rng(6);
+  OnlineConfig margin7, tight4;
+  margin7.cycles_per_round = 400;
+  tight4.cycles_per_round = 400;
+  tight4.engine.reg_depth = 4;
+  int overflow7 = 0, overflow4 = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto h = sample_history(lat, {0.01, 0.01, 13}, rng);
+    overflow7 += run_online(lat, h, margin7).overflow;
+    overflow4 += run_online(lat, h, tight4).overflow;
+  }
+  EXPECT_LE(overflow7, overflow4);
+}
+
+}  // namespace
+}  // namespace qec

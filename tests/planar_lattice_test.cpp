@@ -1,0 +1,207 @@
+// Geometry tests for the planar surface-code sector.
+#include "surface_code/planar_lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "surface_code/pauli_frame.hpp"
+
+namespace qec {
+namespace {
+
+class LatticeGeometry : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatticeGeometry, Counts) {
+  const int d = GetParam();
+  const PlanarLattice lat(d);
+  EXPECT_EQ(lat.distance(), d);
+  EXPECT_EQ(lat.check_rows(), d);
+  EXPECT_EQ(lat.check_cols(), d - 1);
+  EXPECT_EQ(lat.num_checks(), d * (d - 1));
+  EXPECT_EQ(lat.num_data(), d * d + (d - 1) * (d - 1));
+}
+
+TEST_P(LatticeGeometry, CheckIndexRoundTrips) {
+  const PlanarLattice lat(GetParam());
+  for (int idx = 0; idx < lat.num_checks(); ++idx) {
+    const CheckCoord c = lat.check_coord(idx);
+    EXPECT_EQ(lat.check_index(c.row, c.col), idx);
+  }
+}
+
+TEST_P(LatticeGeometry, SupportSizes) {
+  const int d = GetParam();
+  const PlanarLattice lat(d);
+  for (int r = 0; r < d; ++r) {
+    for (int c = 0; c < d - 1; ++c) {
+      const auto support = lat.check_support(r, c);
+      // Interior rows see 4 data qubits; the first and last rows lack one
+      // vertical neighbour.
+      const int expected = (r == 0 || r == d - 1) ? 3 : 4;
+      EXPECT_EQ(static_cast<int>(support.size()), expected)
+          << "check (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST_P(LatticeGeometry, QubitCheckAdjacencyIsConsistent) {
+  const int d = GetParam();
+  const PlanarLattice lat(d);
+  for (int q = 0; q < lat.num_data(); ++q) {
+    const auto checks = lat.qubit_checks(q);
+    ASSERT_GE(checks.size(), 1u);
+    ASSERT_LE(checks.size(), 2u);
+    for (int chk : checks) {
+      const CheckCoord c = lat.check_coord(chk);
+      const auto support = lat.check_support(c.row, c.col);
+      EXPECT_NE(std::find(support.begin(), support.end(), q), support.end());
+    }
+  }
+}
+
+TEST_P(LatticeGeometry, BoundaryTouchingQubitsHaveOneCheck) {
+  const int d = GetParam();
+  const PlanarLattice lat(d);
+  int single_check_qubits = 0;
+  for (int q = 0; q < lat.num_data(); ++q) {
+    if (lat.qubit_checks(q).size() == 1) ++single_check_qubits;
+  }
+  // Exactly the first/last horizontal qubit of each row touches a boundary.
+  EXPECT_EQ(single_check_qubits, 2 * d);
+}
+
+TEST_P(LatticeGeometry, SyndromeIsLinear) {
+  const int d = GetParam();
+  const PlanarLattice lat(d);
+  Xoshiro256ss rng(17u + static_cast<unsigned>(d));
+  BitVec a(static_cast<std::size_t>(lat.num_data()), 0);
+  BitVec b(static_cast<std::size_t>(lat.num_data()), 0);
+  for (auto& bit : a) bit = static_cast<std::uint8_t>(rng.below(2));
+  for (auto& bit : b) bit = static_cast<std::uint8_t>(rng.below(2));
+  const BitVec sum = xor_of(a, b);
+  EXPECT_EQ(lat.syndrome(sum), xor_of(lat.syndrome(a), lat.syndrome(b)));
+}
+
+TEST_P(LatticeGeometry, LPathConnectsEndpoints) {
+  const int d = GetParam();
+  const PlanarLattice lat(d);
+  Xoshiro256ss rng(99u + static_cast<unsigned>(d));
+  for (int trial = 0; trial < 50; ++trial) {
+    const CheckCoord from{static_cast<int>(rng.below(d)),
+                          static_cast<int>(rng.below(d - 1))};
+    const CheckCoord to{static_cast<int>(rng.below(d)),
+                        static_cast<int>(rng.below(d - 1))};
+    if (from == to) continue;
+    BitVec err(static_cast<std::size_t>(lat.num_data()), 0);
+    for (int q : lat.l_path(from, to)) err[static_cast<std::size_t>(q)] ^= 1;
+    // The path's syndrome must light exactly the two endpoints.
+    const BitVec synd = lat.syndrome(err);
+    std::set<int> lit;
+    for (int i = 0; i < lat.num_checks(); ++i) {
+      if (synd[static_cast<std::size_t>(i)]) lit.insert(i);
+    }
+    EXPECT_EQ(lit, (std::set<int>{lat.check_index(from.row, from.col),
+                                  lat.check_index(to.row, to.col)}));
+    // And its length is the Manhattan distance.
+    EXPECT_EQ(static_cast<int>(lat.l_path(from, to).size()),
+              std::abs(from.row - to.row) + std::abs(from.col - to.col));
+  }
+}
+
+TEST_P(LatticeGeometry, BoundaryPathTerminatesOnOneCheck) {
+  const int d = GetParam();
+  const PlanarLattice lat(d);
+  for (int r = 0; r < d; ++r) {
+    for (int c = 0; c < d - 1; ++c) {
+      BitVec err(static_cast<std::size_t>(lat.num_data()), 0);
+      const auto path = lat.boundary_path({r, c});
+      EXPECT_EQ(static_cast<int>(path.size()), lat.boundary_distance(c));
+      for (int q : path) err[static_cast<std::size_t>(q)] ^= 1;
+      const BitVec synd = lat.syndrome(err);
+      int lit = 0;
+      for (int i = 0; i < lat.num_checks(); ++i) {
+        lit += synd[static_cast<std::size_t>(i)];
+      }
+      EXPECT_EQ(lit, 1);
+      EXPECT_EQ(synd[static_cast<std::size_t>(lat.check_index(r, c))], 1);
+    }
+  }
+}
+
+TEST_P(LatticeGeometry, LogicalOperatorSpansAndFlips) {
+  const int d = GetParam();
+  const PlanarLattice lat(d);
+  // A full row of horizontal qubits is a logical operator: syndrome-free
+  // and crossing.
+  for (int r = 0; r < d; ++r) {
+    BitVec logical(static_cast<std::size_t>(lat.num_data()), 0);
+    for (int k = 0; k < d; ++k) {
+      logical[static_cast<std::size_t>(lat.horizontal_qubit(r, k))] = 1;
+    }
+    EXPECT_TRUE(is_zero(lat.syndrome(logical)));
+    EXPECT_TRUE(lat.logical_flip(logical));
+  }
+}
+
+TEST_P(LatticeGeometry, HomologicallyTrivialLoopsDoNotFlip) {
+  const int d = GetParam();
+  const PlanarLattice lat(d);
+  // Boundary-to-same-boundary "detour": go right then back = empty, so use
+  // an elementary face loop instead: two horizontal + two vertical qubits
+  // around a face.
+  for (int r = 0; r + 1 < d; ++r) {
+    for (int k = 1; k < d - 1; ++k) {
+      BitVec loop(static_cast<std::size_t>(lat.num_data()), 0);
+      loop[static_cast<std::size_t>(lat.horizontal_qubit(r, k))] = 1;
+      loop[static_cast<std::size_t>(lat.horizontal_qubit(r + 1, k))] = 1;
+      loop[static_cast<std::size_t>(lat.vertical_qubit(r, k - 1))] = 1;
+      loop[static_cast<std::size_t>(lat.vertical_qubit(r, k))] = 1;
+      ASSERT_TRUE(is_zero(lat.syndrome(loop)))
+          << "face loop at r=" << r << " k=" << k;
+      EXPECT_FALSE(lat.logical_flip(loop));
+    }
+  }
+}
+
+TEST_P(LatticeGeometry, BoundaryDistanceSymmetry) {
+  const int d = GetParam();
+  const PlanarLattice lat(d);
+  for (int c = 0; c < d - 1; ++c) {
+    EXPECT_EQ(lat.boundary_distance(c), lat.boundary_distance(d - 2 - c));
+    EXPECT_GE(lat.boundary_distance(c), 1);
+    EXPECT_LE(lat.boundary_distance(c), (d + 1) / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LatticeGeometry,
+                         ::testing::Values(2, 3, 5, 7, 9, 11, 13),
+                         ::testing::PrintToStringParamName());
+
+TEST(Lattice, RejectsTooSmallDistance) {
+  EXPECT_THROW(PlanarLattice(1), std::invalid_argument);
+  EXPECT_THROW(PlanarLattice(0), std::invalid_argument);
+}
+
+TEST(Direction, OppositeIsInvolution) {
+  for (Direction dir : {Direction::North, Direction::East, Direction::South,
+                        Direction::West}) {
+    EXPECT_EQ(opposite(opposite(dir)), dir);
+    EXPECT_NE(opposite(dir), dir);
+  }
+}
+
+TEST(PauliFrame, WeightAndXor) {
+  BitVec a{1, 0, 1, 0};
+  const BitVec b{1, 1, 0, 0};
+  EXPECT_EQ(weight(a), 2);
+  EXPECT_EQ(xor_of(a, b), (BitVec{0, 1, 1, 0}));
+  xor_into(b, a);
+  EXPECT_EQ(a, (BitVec{0, 1, 1, 0}));
+  EXPECT_FALSE(is_zero(a));
+  EXPECT_TRUE(is_zero(BitVec{0, 0}));
+}
+
+}  // namespace
+}  // namespace qec

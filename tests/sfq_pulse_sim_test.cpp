@@ -1,0 +1,189 @@
+// Tests for the behavioural SFQ pulse simulator and the race-logic
+// priority arbiter it demonstrates.
+#include "sfq/pulse_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qec {
+namespace {
+
+TEST(PulseSim, JtlDelaysPulse) {
+  PulseSimulator sim;
+  const auto in = sim.make_node("in");
+  const auto out = sim.make_node("out");
+  sim.add_jtl(in, out, 7.5);
+  sim.inject(in, 10.0);
+  sim.run();
+  ASSERT_EQ(sim.pulse_count(out), 1);
+  EXPECT_DOUBLE_EQ(sim.pulses(out)[0], 17.5);
+}
+
+TEST(PulseSim, SplitterFansOut) {
+  PulseSimulator sim;
+  const auto in = sim.make_node();
+  const auto a = sim.make_node();
+  const auto b = sim.make_node();
+  sim.add_splitter(in, a, b);
+  sim.inject(in, 0.0);
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(a), 1);
+  EXPECT_EQ(sim.pulse_count(b), 1);
+  EXPECT_DOUBLE_EQ(sim.pulses(a)[0], cell_spec(SfqCell::Splitter).latency_ps);
+}
+
+TEST(PulseSim, MergerCombines) {
+  PulseSimulator sim;
+  const auto a = sim.make_node();
+  const auto b = sim.make_node();
+  const auto out = sim.make_node();
+  sim.add_merger(a, b, out);
+  sim.inject(a, 1.0);
+  sim.inject(b, 5.0);
+  sim.run();
+  ASSERT_EQ(sim.pulse_count(out), 2);
+  EXPECT_LT(sim.pulses(out)[0], sim.pulses(out)[1]);
+}
+
+TEST(PulseSim, DroStoresAndReadsDestructively) {
+  PulseSimulator sim;
+  const auto set = sim.make_node();
+  const auto clk = sim.make_node();
+  const auto out = sim.make_node();
+  sim.add_dro(set, clk, out);
+  sim.inject(set, 0.0);
+  sim.inject(clk, 10.0);  // reads the stored pulse
+  sim.inject(clk, 20.0);  // second read: empty
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(out), 1);
+}
+
+TEST(PulseSim, DroWithoutSetStaysQuiet) {
+  PulseSimulator sim;
+  const auto set = sim.make_node();
+  const auto clk = sim.make_node();
+  const auto out = sim.make_node();
+  sim.add_dro(set, clk, out);
+  sim.inject(clk, 5.0);
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(out), 0);
+}
+
+TEST(PulseSim, NdroReadsNonDestructively) {
+  PulseSimulator sim;
+  const auto set = sim.make_node();
+  const auto reset = sim.make_node();
+  const auto clk = sim.make_node();
+  const auto out = sim.make_node();
+  sim.add_ndro(set, reset, clk, out);
+  sim.inject(set, 0.0);
+  sim.inject(clk, 10.0);
+  sim.inject(clk, 20.0);
+  sim.inject(reset, 30.0);
+  sim.inject(clk, 40.0);
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(out), 2);  // two reads before reset, none after
+}
+
+TEST(PulseSim, RdResetClearsState) {
+  PulseSimulator sim;
+  const auto set = sim.make_node();
+  const auto reset = sim.make_node();
+  const auto clk = sim.make_node();
+  const auto out = sim.make_node();
+  sim.add_rd(set, reset, clk, out);
+  sim.inject(set, 0.0);
+  sim.inject(reset, 5.0);
+  sim.inject(clk, 10.0);
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(out), 0);
+}
+
+TEST(PulseSim, D2EmitsOnComplementaryOutputs) {
+  PulseSimulator sim;
+  const auto set = sim.make_node();
+  const auto clk = sim.make_node();
+  const auto out1 = sim.make_node();
+  const auto out0 = sim.make_node();
+  sim.add_d2(set, clk, out1, out0);
+  sim.inject(set, 0.0);
+  sim.inject(clk, 10.0);  // state set: out1
+  sim.inject(clk, 20.0);  // state cleared by first read: out0
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(out1), 1);
+  EXPECT_EQ(sim.pulse_count(out0), 1);
+}
+
+TEST(PulseSim, SwitchRoutesBySelect) {
+  PulseSimulator sim;
+  const auto in = sim.make_node();
+  const auto sel_set = sim.make_node();
+  const auto sel_reset = sim.make_node();
+  const auto out0 = sim.make_node();
+  const auto out1 = sim.make_node();
+  sim.add_switch(in, sel_set, sel_reset, out0, out1);
+  sim.inject(in, 0.0);        // select clear -> out0
+  sim.inject(sel_set, 10.0);
+  sim.inject(in, 20.0);       // select set -> out1
+  sim.inject(sel_reset, 30.0);
+  sim.inject(in, 40.0);       // back to out0
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(out0), 2);
+  EXPECT_EQ(sim.pulse_count(out1), 1);
+}
+
+TEST(PulseSim, DeterministicTieBreaking) {
+  // Two pulses at identical times must process in injection order.
+  PulseSimulator sim;
+  const auto a = sim.make_node();
+  const auto b = sim.make_node();
+  const auto out = sim.make_node();
+  sim.add_merger(a, b, out);
+  sim.inject(a, 1.0);
+  sim.inject(b, 1.0);
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(out), 2);
+}
+
+TEST(PriorityArbiterTest, EarliestPortWinsExactlyOnce) {
+  PulseSimulator sim;
+  const auto arb = build_priority_arbiter(sim);
+  // Inject on all four ports simultaneously; the JTL skew makes port 0 (W)
+  // arrive first; the switch lock must swallow the other three.
+  for (int i = 0; i < 4; ++i) sim.inject(arb.port[i], 0.0);
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(arb.winner), 1);
+}
+
+TEST(PriorityArbiterTest, LatePortCanWinWhenOthersIdle) {
+  PulseSimulator sim;
+  const auto arb = build_priority_arbiter(sim);
+  sim.inject(arb.port[3], 2.0);  // only the lowest-priority port fires
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(arb.winner), 1);
+}
+
+TEST(PriorityArbiterTest, PhysicallyEarlierPulseBeatsPriority) {
+  // Race logic is about arrival time: a pulse on the lowest-priority port
+  // that arrives sufficiently earlier still wins.
+  PulseSimulator sim;
+  const auto arb = build_priority_arbiter(sim);
+  sim.inject(arb.port[3], 0.0);
+  sim.inject(arb.port[0], 200.0);  // well after the lock engages
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(arb.winner), 1);
+}
+
+TEST(PulseSim, RunUntilLimitsSimulation) {
+  PulseSimulator sim;
+  const auto in = sim.make_node();
+  const auto out = sim.make_node();
+  sim.add_jtl(in, out, 100.0);
+  sim.inject(in, 0.0);
+  sim.run(50.0);  // pulse still in flight
+  EXPECT_EQ(sim.pulse_count(out), 0);
+  sim.run();
+  EXPECT_EQ(sim.pulse_count(out), 1);
+}
+
+}  // namespace
+}  // namespace qec

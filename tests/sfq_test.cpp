@@ -1,0 +1,166 @@
+// Tests for the SFQ hardware model: Table I cells, Table II netlist,
+// RSFQ/ERSFQ power, and the Table V power-budget deployments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sfq/budget.hpp"
+#include "sfq/cell_library.hpp"
+#include "sfq/power.hpp"
+#include "sfq/unit_netlist.hpp"
+
+namespace qec {
+namespace {
+
+TEST(CellLibrary, TableOneValues) {
+  EXPECT_EQ(cell_spec(SfqCell::Splitter).jjs, 3);
+  EXPECT_DOUBLE_EQ(cell_spec(SfqCell::Splitter).bias_ma, 0.300);
+  EXPECT_EQ(cell_spec(SfqCell::Merger).jjs, 7);
+  EXPECT_EQ(cell_spec(SfqCell::Switch12).jjs, 33);
+  EXPECT_DOUBLE_EQ(cell_spec(SfqCell::Switch12).area_um2, 8100.0);
+  EXPECT_EQ(cell_spec(SfqCell::Dro).jjs, 6);
+  EXPECT_EQ(cell_spec(SfqCell::Ndro).jjs, 11);
+  EXPECT_EQ(cell_spec(SfqCell::ResettableDro).jjs, 11);
+  EXPECT_EQ(cell_spec(SfqCell::DualOutputDro).jjs, 12);
+  EXPECT_DOUBLE_EQ(cell_spec(SfqCell::DualOutputDro).latency_ps, 6.8);
+}
+
+TEST(CellLibrary, TableIsCompleteAndOrdered) {
+  const auto& table = cell_table();
+  ASSERT_EQ(table.size(), static_cast<std::size_t>(kSfqCellCount));
+  EXPECT_EQ(table[0].name, "splitter");
+  EXPECT_EQ(table.back().name, "D2");
+  for (const auto& spec : table) {
+    EXPECT_GT(spec.jjs, 0);
+    EXPECT_GT(spec.bias_ma, 0.0);
+    EXPECT_GT(spec.area_um2, 0.0);
+    EXPECT_GT(spec.latency_ps, 0.0);
+  }
+}
+
+TEST(UnitNetlist, CellInstanceTotalsMatchTableTwo) {
+  // Total column of Table II: 31 splitters, 65 mergers, 11 switches,
+  // 3 DROs, 20 NDROs, 44 RDs, 6 D2s, 1472 wire JJs.
+  const auto& modules = unit_modules();
+  std::array<int, kSfqCellCount> cells{};
+  int wire = 0;
+  for (const auto& m : modules) {
+    for (int c = 0; c < kSfqCellCount; ++c) {
+      cells[static_cast<std::size_t>(c)] += m.cells[static_cast<std::size_t>(c)];
+    }
+    wire += m.wire_jjs;
+  }
+  EXPECT_EQ(cells[0], 31);   // splitter
+  EXPECT_EQ(cells[1], 65);   // merger
+  EXPECT_EQ(cells[2], 11);   // 1:2 switch
+  EXPECT_EQ(cells[3], 3);    // DRO
+  EXPECT_EQ(cells[4], 20);   // NDRO
+  EXPECT_EQ(cells[5], 44);   // RD
+  EXPECT_EQ(cells[6], 6);    // D2
+  EXPECT_EQ(wire, 1472);
+}
+
+TEST(UnitNetlist, DerivedJjTotalReconcilesWithPaper) {
+  // Bottom-up: cell instances x JJs/cell + wire JJs = 3177 exactly.
+  int derived = 0;
+  for (const auto& m : unit_modules()) derived += m.derived_jjs();
+  EXPECT_EQ(derived, unit_budget().jjs);
+  EXPECT_EQ(derived, 3177);
+}
+
+TEST(UnitNetlist, PublishedModuleBudgetsSumToTotals) {
+  int jjs = 0;
+  double area = 0.0, bias = 0.0;
+  for (const auto& m : unit_modules()) {
+    jjs += m.published_jjs;
+    area += m.published_area_um2;
+    bias += m.published_bias_ma;
+  }
+  EXPECT_EQ(jjs, 3177);
+  EXPECT_DOUBLE_EQ(area, 1274400.0);
+  EXPECT_NEAR(bias, 336.0, 0.15);  // Table II rows sum to 336.1 mA
+}
+
+TEST(UnitNetlist, ModuleLookups) {
+  const auto& modules = unit_modules();
+  EXPECT_EQ(modules[static_cast<std::size_t>(UnitModule::BasePointer)]
+                .published_jjs,
+            1935);
+  EXPECT_DOUBLE_EQ(
+      modules[static_cast<std::size_t>(UnitModule::StateMachine)]
+          .published_latency_ps,
+      98.7);
+  EXPECT_EQ(modules[static_cast<std::size_t>(UnitModule::Prioritization)]
+                .total_cell_instances(),
+            13);
+}
+
+TEST(UnitNetlist, MaxFrequencyAboutFiveGigahertz) {
+  // 215 ps critical path -> 4.65 GHz; the paper rounds to "about 5 GHz".
+  EXPECT_NEAR(unit_max_frequency_hz() / 1e9, 4.65, 0.05);
+  EXPECT_GT(unit_max_frequency_hz(), 2e9) << "must support the 2 GHz target";
+}
+
+TEST(UnitNetlist, UnitsPerLogicalQubit) {
+  EXPECT_EQ(units_per_logical_qubit(9), 144);   // 2*9*8
+  EXPECT_EQ(units_per_logical_qubit(5), 40);
+  EXPECT_EQ(units_per_logical_qubit(13), 312);
+}
+
+TEST(Power, RsfqUnitPowerIs840Microwatts) {
+  EXPECT_NEAR(qecool_unit_rsfq_power_w() * 1e6, 840.0, 0.5);
+}
+
+TEST(Power, ErsfqUnitPowerAtTwoGigahertz) {
+  // 336 mA * 2 GHz * Phi0 * 2 = 2.78 uW (Section V-C).
+  EXPECT_NEAR(qecool_unit_ersfq_power_w(2e9) * 1e6, 2.78, 0.01);
+}
+
+TEST(Power, ErsfqScalesLinearlyWithFrequency) {
+  const double at1 = ersfq_power_w(336.0, 1e9);
+  const double at2 = ersfq_power_w(336.0, 2e9);
+  EXPECT_NEAR(at2 / at1, 2.0, 1e-12);
+}
+
+TEST(Budget, QecoolProtects2498LogicalQubits) {
+  // Table V headline: d=9, 2 GHz, 1 W at 4 K.
+  const auto dep = qecool_deployment(9, 2e9);
+  EXPECT_EQ(dep.units_per_logical_qubit, 144);
+  EXPECT_NEAR(dep.power_per_unit_w * 1e6, 2.78, 0.01);
+  EXPECT_EQ(dep.protectable_logical_qubits(kFourKelvinBudgetW), 2498);
+}
+
+TEST(Budget, AqecProtectsAbout37) {
+  // The paper prints 37; 37 * 2023 units * 13.44 uW = 1.006 W slightly
+  // exceeds the budget, so the floor is 36. We assert the floor and the
+  // near-37 value (documented in EXPERIMENTS.md).
+  const auto dep = aqec_deployment(9, /*extended_to_3d=*/true);
+  EXPECT_EQ(dep.units_per_logical_qubit, 2023);  // (2*9-1)^2 * 7
+  const double exact = kFourKelvinBudgetW / dep.power_per_logical_qubit_w();
+  EXPECT_NEAR(exact, 36.8, 0.1);
+  EXPECT_EQ(dep.protectable_logical_qubits(kFourKelvinBudgetW), 36);
+}
+
+TEST(Budget, Aqec2dDeployment) {
+  const auto dep = aqec_deployment(9, /*extended_to_3d=*/false);
+  EXPECT_EQ(dep.units_per_logical_qubit, 289);
+}
+
+TEST(Budget, QecoolBeatsAqecByTwoOrdersOfMagnitude) {
+  const auto q = qecool_deployment(9, 2e9);
+  const auto a = aqec_deployment(9, true);
+  const double ratio =
+      static_cast<double>(q.protectable_logical_qubits(1.0)) /
+      static_cast<double>(a.protectable_logical_qubits(1.0));
+  EXPECT_GT(ratio, 60.0);
+}
+
+TEST(Budget, LowerFrequencyProtectsMore) {
+  const auto at2 = qecool_deployment(9, 2e9);
+  const auto at1 = qecool_deployment(9, 1e9);
+  EXPECT_GT(at1.protectable_logical_qubits(1.0),
+            at2.protectable_logical_qubits(1.0));
+}
+
+}  // namespace
+}  // namespace qec
