@@ -2,19 +2,14 @@
 // d = 5..13, phenomenological noise with d noisy rounds. The paper reads a
 // threshold of ~1.5% for batch-QECOOL and ~3% for MWPM off these curves.
 //
-//   fig4a_threshold_batch [--trials=400] [--dmax=13] [--fast]
+//   fig4a_threshold_batch [--trials=400] [--dmax=13] [--fast] [--threads=N]
 //                         [--csv=fig4a.csv]
 #include <cstdio>
-#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "common/csv.hpp"
 #include "common/table.hpp"
-#include "mwpm/mwpm_decoder.hpp"
-#include "qecool/qecool_decoder.hpp"
-#include "sim/monte_carlo.hpp"
-#include "sim/threshold.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
@@ -25,63 +20,46 @@ int main(int argc, char** argv) {
   qec::bench::print_header("Fig 4a: error-rate scaling, batch-QECOOL vs MWPM",
                            "Fig 4(a); p_th(batch-QECOOL) ~ 1.5%, p_th(MWPM) ~ 3%");
 
-  const std::vector<double> ps = {0.003, 0.005, 0.0075, 0.01,
-                                  0.015, 0.02,  0.03,   0.04};
-  std::vector<int> ds;
-  for (int d = 5; d <= dmax; d += 2) ds.push_back(d);
+  qec::SweepGrid grid;
+  grid.ps = {0.003, 0.005, 0.0075, 0.01, 0.015, 0.02, 0.03, 0.04};
+  for (int d = 5; d <= dmax; d += 2) grid.distances.push_back(d);
+  grid.trials = base_trials;
+  grid.threads = qec::threads_override(args, 1);
+  grid.variants.push_back(qec::decoder_variant("batch-QECOOL", "qecool"));
+  auto mwpm = qec::decoder_variant("MWPM", "mwpm");
+  mwpm.trials_for = [base_trials](const qec::ExperimentConfig& config) {
+    return qec::bench::mwpm_trials(base_trials, config.distance,
+                                   config.p_data, config.rounds);
+  };
+  grid.variants.push_back(std::move(mwpm));
+
+  const double last_p = grid.ps.back();
+  const auto result = qec::run_sweep(
+      grid, args.get_or("csv", ""), [last_p](const qec::SweepCell& cell) {
+        if (cell.p == last_p) {
+          std::fprintf(stderr, "  %s d=%d done\n", cell.variant.c_str(),
+                       cell.distance);
+        }
+      });
 
   std::vector<std::string> header = {"decoder", "d"};
-  for (double p : ps) header.push_back("p=" + qec::TextTable::fmt(p, 4));
+  for (double p : grid.ps) header.push_back("p=" + qec::TextTable::fmt(p, 4));
   qec::TextTable table(header);
-
-  std::unique_ptr<qec::CsvWriter> csv;
-  if (const auto path = args.get("csv")) {
-    csv = std::make_unique<qec::CsvWriter>(
-        *path, std::vector<std::string>{"decoder", "d", "p", "pl"});
-  }
-  auto csv_point = [&csv](const char* decoder, int d, double p, double pl) {
-    if (csv) {
-      csv->add_row({decoder, std::to_string(d), qec::TextTable::fmt(p, 6),
-                    qec::TextTable::sci(pl, 6)});
+  for (const auto& variant : grid.variants) {
+    for (int d : grid.distances) {
+      std::vector<std::string> row = {variant.label, std::to_string(d)};
+      for (double p : grid.ps) {
+        const auto* cell = result.find(variant.label, d, p);
+        row.push_back(
+            qec::TextTable::sci(cell->result.logical_error_rate, 2));
+      }
+      table.add_row(row);
     }
-  };
-
-  std::vector<qec::DistanceCurve> qecool_curves, mwpm_curves;
-  for (int d : ds) {
-    qec::BatchQecoolDecoder qecool;
-    qec::DistanceCurve curve{d, {}};
-    std::vector<std::string> row = {"batch-QECOOL", std::to_string(d)};
-    for (double p : ps) {
-      const auto r = qec::run_memory_experiment(
-          qecool, qec::phenomenological_config(d, p, base_trials));
-      curve.points.push_back({p, r.logical_error_rate});
-      row.push_back(qec::TextTable::sci(r.logical_error_rate, 2));
-      csv_point("batch-QECOOL", d, p, r.logical_error_rate);
-    }
-    qecool_curves.push_back(curve);
-    table.add_row(row);
-    std::fprintf(stderr, "  batch-QECOOL d=%d done\n", d);
-  }
-  for (int d : ds) {
-    qec::MwpmDecoder mwpm;
-    qec::DistanceCurve curve{d, {}};
-    std::vector<std::string> row = {"MWPM", std::to_string(d)};
-    for (double p : ps) {
-      const int trials = qec::bench::mwpm_trials(base_trials, d, p, d);
-      const auto r = qec::run_memory_experiment(
-          mwpm, qec::phenomenological_config(d, p, trials));
-      curve.points.push_back({p, r.logical_error_rate});
-      row.push_back(qec::TextTable::sci(r.logical_error_rate, 2));
-      csv_point("MWPM", d, p, r.logical_error_rate);
-    }
-    mwpm_curves.push_back(curve);
-    std::fprintf(stderr, "  MWPM d=%d done\n", d);
-    table.add_row(row);
   }
   table.print();
 
-  const auto th_q = qec::estimate_threshold(qecool_curves);
-  const auto th_m = qec::estimate_threshold(mwpm_curves);
+  const auto th_q = result.threshold("batch-QECOOL");
+  const auto th_m = result.threshold("MWPM");
   std::printf("\nestimated p_th batch-QECOOL: %s   (paper: ~0.015)\n",
               th_q ? qec::TextTable::fmt(*th_q, 4).c_str() : "n/a");
   std::printf("estimated p_th MWPM        : %s   (paper: ~0.030)\n",

@@ -5,94 +5,78 @@
 //
 // Also reports the Reg-depth ablation (4 vs 7 entries) at 2 GHz.
 //
-//   fig7_online_frequency [--trials=400] [--dmax=13] [--csv=fig7.csv]
+//   fig7_online_frequency [--trials=400] [--dmax=13] [--threads=N]
+//                         [--csv=fig7.csv]
 #include <cstdio>
-#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "common/csv.hpp"
 #include "common/table.hpp"
-#include "sim/monte_carlo.hpp"
-#include "sim/threshold.hpp"
-
-namespace {
-
-struct FreqPoint {
-  const char* label;
-  double hz;
-};
-
-}  // namespace
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
   const int trials = static_cast<int>(qec::trials_override(args, 400));
   const int dmax = static_cast<int>(args.get_int_or("dmax", 13));
+  const int threads = qec::threads_override(args, 1);
 
   qec::bench::print_header(
       "Fig 7: on-line QECOOL accuracy vs decoder clock frequency",
       "Fig 7(a)-(c); buffer overflow at 500 MHz / 1 GHz for large d; "
       "p_th ~ 1.0% at 2 GHz");
 
-  const std::vector<double> ps = {0.002, 0.003, 0.005, 0.0075, 0.01, 0.015,
-                                  0.02};
   // The paper sweeps 500 MHz / 1 GHz / 2 GHz. Our cycle model is ~2x
-  // lighter per layer than the paper's (see EXPERIMENTS.md), so the
-  // overflow collapse the paper sees at 500 MHz appears here at a
-  // proportionally lower clock — the extra 250 MHz panel makes the
-  // phenomenon explicit at our calibration.
-  const FreqPoint freqs[] = {{"250 MHz", 250e6}, {"500 MHz", 500e6},
-                             {"1 GHz", 1e9}, {"2 GHz", 2e9}};
-
-  std::unique_ptr<qec::CsvWriter> csv;
-  if (const auto path = args.get("csv")) {
-    csv = std::make_unique<qec::CsvWriter>(
-        *path, std::vector<std::string>{"freq_hz", "d", "p", "pl",
-                                        "overflow_rate"});
+  // lighter per layer than the paper's (see DESIGN.md), so the overflow
+  // collapse the paper sees at 500 MHz appears here at a proportionally
+  // lower clock — the extra 250 MHz panel makes the phenomenon explicit at
+  // our calibration.
+  qec::SweepGrid grid;
+  for (double hz : {250e6, 500e6, 1e9, 2e9}) {
+    qec::OnlineConfig online;
+    online.cycles_per_round = qec::cycles_per_microsecond(hz);
+    const double mhz = hz / 1e6;
+    const std::string label = mhz >= 1000
+                                  ? qec::TextTable::fmt(mhz / 1000, 0) + " GHz"
+                                  : qec::TextTable::fmt(mhz, 0) + " MHz";
+    grid.variants.push_back(qec::online_variant(label, online));
   }
+  grid.ps = {0.002, 0.003, 0.005, 0.0075, 0.01, 0.015, 0.02};
+  for (int d = 5; d <= dmax; d += 2) grid.distances.push_back(d);
+  grid.trials = trials;
+  grid.threads = threads;
 
-  for (const auto& freq : freqs) {
+  const double last_p = grid.ps.back();
+  const auto result = qec::run_sweep(
+      grid, args.get_or("csv", ""), [last_p](const qec::SweepCell& cell) {
+        if (cell.p == last_p) {
+          std::fprintf(stderr, "  %s d=%d done\n", cell.variant.c_str(),
+                       cell.distance);
+        }
+      });
+
+  for (const auto& variant : grid.variants) {
     std::printf("--- decoder clock %s (budget %llu cycles / layer) ---\n",
-                freq.label,
+                variant.label.c_str(),
                 static_cast<unsigned long long>(
-                    qec::cycles_per_microsecond(freq.hz)));
+                    variant.online->cycles_per_round));
     std::vector<std::string> header = {"d"};
-    for (double p : ps) header.push_back("p=" + qec::TextTable::fmt(p, 4));
+    for (double p : grid.ps) header.push_back("p=" + qec::TextTable::fmt(p, 4));
     header.push_back("overflow@p=0.01");
     qec::TextTable table(header);
 
-    std::vector<qec::DistanceCurve> curves;
-    for (int d = 5; d <= dmax; d += 2) {
-      qec::DistanceCurve curve{d, {}};
+    for (int d : grid.distances) {
       std::vector<std::string> row = {std::to_string(d)};
-      double overflow_at_p01 = 0.0;
-      for (double p : ps) {
-        qec::OnlineConfig online;
-        online.cycles_per_round = qec::cycles_per_microsecond(freq.hz);
-        const auto r = qec::run_online_experiment(
-            qec::phenomenological_config(d, p, trials), online);
-        curve.points.push_back({p, r.logical_error_rate});
-        row.push_back(qec::TextTable::sci(r.logical_error_rate, 2));
-        if (csv) {
-          csv->add_row(std::vector<double>{
-              freq.hz, static_cast<double>(d), p, r.logical_error_rate,
-              static_cast<double>(r.operational_failures) /
-                  static_cast<double>(r.trials)});
-        }
-        if (p == 0.01) {
-          overflow_at_p01 = static_cast<double>(r.operational_failures) /
-                            static_cast<double>(r.trials);
-        }
+      for (double p : grid.ps) {
+        row.push_back(qec::TextTable::sci(
+            result.find(variant.label, d, p)->result.logical_error_rate, 2));
       }
-      row.push_back(qec::TextTable::fmt(overflow_at_p01, 3));
+      row.push_back(qec::TextTable::fmt(
+          result.find(variant.label, d, 0.01)->overflow_rate(), 3));
       table.add_row(row);
-      curves.push_back(curve);
-      std::fprintf(stderr, "  %s d=%d done\n", freq.label, d);
     }
     table.print();
-    const auto th = qec::estimate_threshold(curves);
-    std::printf("estimated p_th @ %s: %s\n\n", freq.label,
+    const auto th = result.threshold(variant.label);
+    std::printf("estimated p_th @ %s: %s\n\n", variant.label.c_str(),
                 th ? qec::TextTable::fmt(*th, 4).c_str() : "n/a");
   }
 
@@ -100,22 +84,26 @@ int main(int argc, char** argv) {
   // minimum to hold the thv window is 4).
   std::printf("--- ablation: Reg depth 7 vs 4 at a stressed 250 MHz clock, "
               "p = 0.01 ---\n");
+  qec::SweepGrid ab_grid;
+  qec::OnlineConfig deep, shallow;
+  deep.cycles_per_round = shallow.cycles_per_round =
+      qec::cycles_per_microsecond(250e6);
+  shallow.engine.reg_depth = 4;
+  ab_grid.variants.push_back(qec::online_variant("Reg=7", deep));
+  ab_grid.variants.push_back(qec::online_variant("Reg=4", shallow));
+  for (int d = 9; d <= dmax; d += 2) ab_grid.distances.push_back(d);
+  ab_grid.ps = {0.01};
+  ab_grid.trials = trials;
+  ab_grid.threads = threads;
+  const auto ab_result = qec::run_sweep(ab_grid);
+
   qec::TextTable ab({"d", "overflow (Reg=7)", "overflow (Reg=4)"});
-  for (int d = 9; d <= dmax; d += 2) {
-    qec::OnlineConfig deep, shallow;
-    deep.cycles_per_round = shallow.cycles_per_round =
-        qec::cycles_per_microsecond(250e6);
-    shallow.engine.reg_depth = 4;
-    const auto cfg = qec::phenomenological_config(d, 0.01, trials);
-    const auto rd = qec::run_online_experiment(cfg, deep);
-    const auto rs = qec::run_online_experiment(cfg, shallow);
+  for (int d : ab_grid.distances) {
     ab.add_row({std::to_string(d),
-                qec::TextTable::fmt(static_cast<double>(rd.operational_failures) /
-                                        rd.trials,
-                                    4),
-                qec::TextTable::fmt(static_cast<double>(rs.operational_failures) /
-                                        rs.trials,
-                                    4)});
+                qec::TextTable::fmt(
+                    ab_result.find("Reg=7", d, 0.01)->overflow_rate(), 4),
+                qec::TextTable::fmt(
+                    ab_result.find("Reg=4", d, 0.01)->overflow_rate(), 4)});
   }
   ab.print();
   return 0;

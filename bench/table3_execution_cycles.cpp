@@ -5,12 +5,12 @@
 // characterises the work per layer, not a particular clock); thv = 3 and a
 // 7-entry Reg as in the paper.
 //
-//   table3_execution_cycles [--trials=200]
+//   table3_execution_cycles [--trials=200] [--threads=N]
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
@@ -19,9 +19,25 @@ int main(int argc, char** argv) {
   qec::bench::print_header("Table III: per-layer execution cycles of QECOOL",
                            "Table III (Max / Avg / sigma per layer)");
 
-  const double ps[] = {0.001, 0.005, 0.01};
+  qec::SweepGrid grid;
+  // cycles_per_round = 0: unconstrained budget.
+  grid.variants.push_back(qec::online_variant("QECOOL", qec::OnlineConfig{}));
+  grid.distances = {5, 7, 9, 11, 13};
+  grid.ps = {0.001, 0.005, 0.01};
+  grid.trials = trials;
+  grid.threads = qec::threads_override(args, 1);
+
+  const double last_p = grid.ps.back();
+  const auto result =
+      qec::run_sweep(grid, args.get_or("csv", ""),
+                     [last_p](const qec::SweepCell& cell) {
+                       if (cell.p == last_p) {
+                         std::fprintf(stderr, "  d=%d done\n", cell.distance);
+                       }
+                     });
+
   std::vector<std::string> header = {"d"};
-  for (double p : ps) {
+  for (double p : grid.ps) {
     const std::string tag = "p=" + qec::TextTable::fmt(p, 3);
     header.push_back(tag + " Max");
     header.push_back(tag + " Avg");
@@ -29,18 +45,15 @@ int main(int argc, char** argv) {
   }
   qec::TextTable table(header);
 
-  for (int d = 5; d <= 13; d += 2) {
+  for (int d : grid.distances) {
     std::vector<std::string> row = {std::to_string(d)};
-    for (double p : ps) {
-      qec::OnlineConfig online;  // cycles_per_round = 0: unconstrained
-      const auto r = qec::run_online_experiment(
-          qec::phenomenological_config(d, p, trials), online);
-      row.push_back(qec::TextTable::fmt(r.layer_cycles.max(), 0));
-      row.push_back(qec::TextTable::fmt(r.layer_cycles.mean(), 2));
-      row.push_back(qec::TextTable::fmt(r.layer_cycles.stddev(), 2));
+    for (double p : grid.ps) {
+      const auto& cycles = result.find("QECOOL", d, p)->result.layer_cycles;
+      row.push_back(qec::TextTable::fmt(cycles.max(), 0));
+      row.push_back(qec::TextTable::fmt(cycles.mean(), 2));
+      row.push_back(qec::TextTable::fmt(cycles.stddev(), 2));
     }
     table.add_row(row);
-    std::fprintf(stderr, "  d=%d done\n", d);
   }
   table.print();
   std::printf(

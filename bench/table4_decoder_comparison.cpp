@@ -10,46 +10,37 @@
 // Includes the hop-limit ablation from DESIGN.md: QECOOL with escalating
 // timeout vs a single full-range pass (nlimit behaviour).
 //
-//   table4_decoder_comparison [--trials=1500]
+//   table4_decoder_comparison [--trials=1500] [--threads=N]
 #include <cstdio>
-#include <functional>
+#include <optional>
 #include <vector>
 
-#include "aqec/aqec_decoder.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "mwpm/mwpm_decoder.hpp"
-#include "qecool/qecool_decoder.hpp"
-#include "sim/monte_carlo.hpp"
-#include "sim/threshold.hpp"
-#include "unionfind/uf_decoder.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
-using DecoderFactory = std::function<std::unique_ptr<qec::Decoder>()>;
-
-std::optional<double> measure_threshold(const DecoderFactory& factory,
-                                        bool three_d,
+std::optional<double> measure_threshold(const char* spec, bool three_d,
                                         const std::vector<double>& ps,
                                         int base_trials, bool adapt_mwpm,
-                                        const std::vector<int>& ds) {
-  std::vector<qec::DistanceCurve> curves;
-  for (int d : ds) {
-    qec::DistanceCurve curve{d, {}};
-    for (double p : ps) {
-      const int rounds = three_d ? d : 1;
-      const int trials = adapt_mwpm
-                             ? qec::bench::mwpm_trials(base_trials, d, p, rounds)
-                             : base_trials;
-      auto decoder = factory();
-      const auto cfg = three_d ? qec::phenomenological_config(d, p, trials)
-                               : qec::code_capacity_config(d, p, trials);
-      curve.points.push_back(
-          {p, qec::run_memory_experiment(*decoder, cfg).logical_error_rate});
-    }
-    curves.push_back(curve);
+                                        const std::vector<int>& ds,
+                                        int threads) {
+  qec::SweepGrid grid;
+  auto variant = qec::decoder_variant(spec, spec);
+  if (adapt_mwpm) {
+    variant.trials_for = [base_trials](const qec::ExperimentConfig& config) {
+      return qec::bench::mwpm_trials(base_trials, config.distance,
+                                     config.p_data, config.rounds);
+    };
   }
-  return qec::estimate_threshold(curves);
+  grid.variants.push_back(std::move(variant));
+  grid.distances = ds;
+  grid.ps = ps;
+  grid.code_capacity = !three_d;
+  grid.trials = base_trials;
+  grid.threads = threads;
+  return qec::run_sweep(grid).threshold(spec);
 }
 
 std::string fmt_th(const std::optional<double>& th) {
@@ -61,6 +52,7 @@ std::string fmt_th(const std::optional<double>& th) {
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
   const int trials = static_cast<int>(qec::trials_override(args, 1500));
+  const int threads = qec::threads_override(args, 1);
 
   qec::bench::print_header("Table IV: decoder comparison (measured p_th)",
                            "Table IV");
@@ -69,7 +61,7 @@ int main(int argc, char** argv) {
   // far from the crossing makes the log-log interpolation noisy.
   struct Row {
     const char* name;
-    DecoderFactory factory;
+    const char* spec;
     bool adapt;           // MWPM needs the adaptive trial budget
     bool three_d_capable;
     std::vector<double> ps2d;
@@ -81,25 +73,22 @@ int main(int argc, char** argv) {
     const char* environment;
   };
   const Row rows[] = {
-      {"MWPM", [] { return std::make_unique<qec::MwpmDecoder>(); }, true, true,
+      {"MWPM", "mwpm", true, true,
        {0.07, 0.08, 0.09, 0.10, 0.11, 0.12},
        {0.02, 0.025, 0.03, 0.035, 0.04},
        {5, 7, 9},
        "10.3%", "2.9%", "High", "Software"},
-      {"UF", [] { return std::make_unique<qec::UnionFindDecoder>(); }, false,
-       true,
+      {"UF", "uf", false, true,
        {0.06, 0.07, 0.08, 0.09, 0.10, 0.11},
        {0.015, 0.02, 0.025, 0.03, 0.035},
        {5, 7, 9, 11, 13},
        "9.9%", "2.6%", "Medium", "FPGA"},
-      {"AQEC", [] { return std::make_unique<qec::AqecDecoder>(); }, false,
-       false,
+      {"AQEC", "aqec", false, false,
        {0.02, 0.03, 0.04, 0.05, 0.06, 0.07},
        {},
        {5, 7, 9, 11, 13},
        "5%", "-", "Very low", "SFQ"},
-      {"QECOOL", [] { return std::make_unique<qec::BatchQecoolDecoder>(); },
-       false, true,
+      {"QECOOL", "qecool", false, true,
        {0.02, 0.03, 0.04, 0.05, 0.06, 0.07},
        {0.005, 0.0075, 0.01, 0.0125, 0.015, 0.02},
        {5, 7, 9, 11, 13},
@@ -110,13 +99,13 @@ int main(int argc, char** argv) {
                         "p_th 3-D (meas)", "p_th 3-D (paper)", "latency",
                         "environment"});
   for (const auto& row : rows) {
-    const auto th2 = measure_threshold(row.factory, false, row.ps2d, trials,
-                                       row.adapt, row.ds);
+    const auto th2 = measure_threshold(row.spec, false, row.ps2d, trials,
+                                       row.adapt, row.ds, threads);
     std::fprintf(stderr, "  %s 2-D done\n", row.name);
     std::optional<double> th3;
     if (row.three_d_capable) {
-      th3 = measure_threshold(row.factory, true, row.ps3d, trials / 3,
-                              row.adapt, row.ds);
+      th3 = measure_threshold(row.spec, true, row.ps3d, trials / 3,
+                              row.adapt, row.ds, threads);
       std::fprintf(stderr, "  %s 3-D done\n", row.name);
     }
     table.add_row({row.name, fmt_th(th2), row.paper_2d,
@@ -129,18 +118,26 @@ int main(int argc, char** argv) {
   // full-range timeout (nlimit reached immediately) loses the
   // closest-pairs-first property and decodes worse.
   std::printf("\n--- ablation: hop-limit escalation (d=7, 3-D) ---\n");
+  qec::SweepGrid ablation;
+  ablation.variants.push_back(
+      qec::decoder_variant("escalating", "qecool"));
+  ablation.variants.push_back(
+      qec::decoder_variant("max-hop", "qecool:start_at_max_hop=1"));
+  ablation.distances = {7};
+  ablation.ps = {0.005, 0.01, 0.02};
+  ablation.trials = trials / 2;
+  ablation.threads = threads;
+  const auto ab_result = qec::run_sweep(ablation);
+
   qec::TextTable ab({"p", "escalating C (paper)", "max-hop first pass"});
-  for (double p : {0.005, 0.01, 0.02}) {
-    qec::BatchQecoolDecoder escalating;
-    qec::QecoolConfig max_hop_config;
-    max_hop_config.start_at_max_hop = true;
-    qec::BatchQecoolDecoder max_hop(max_hop_config);
-    const auto cfg = qec::phenomenological_config(7, p, trials / 2);
-    const auto re = qec::run_memory_experiment(escalating, cfg);
-    const auto rf = qec::run_memory_experiment(max_hop, cfg);
+  for (double p : ablation.ps) {
     ab.add_row({qec::TextTable::fmt(p, 4),
-                qec::TextTable::sci(re.logical_error_rate, 2),
-                qec::TextTable::sci(rf.logical_error_rate, 2)});
+                qec::TextTable::sci(
+                    ab_result.find("escalating", 7, p)->result.logical_error_rate,
+                    2),
+                qec::TextTable::sci(
+                    ab_result.find("max-hop", 7, p)->result.logical_error_rate,
+                    2)});
   }
   ab.print();
   return 0;

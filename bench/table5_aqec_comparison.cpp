@@ -8,7 +8,7 @@
 //   - Units per logical qubit: AQEC (2d-1)^2 (x7 for 3-D), QECOOL 2d(d-1)
 //   - protectable logical qubits: AQEC ~37, QECOOL 2498
 //
-//   table5_aqec_comparison [--trials=400]
+//   table5_aqec_comparison [--trials=400] [--threads=N]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -29,8 +29,10 @@ int main(int argc, char** argv) {
   // Measure QECOOL per-layer execution time at the paper's operating point.
   qec::OnlineConfig online;
   online.cycles_per_round = qec::cycles_per_microsecond(freq);
-  const auto run = qec::run_online_experiment(
-      qec::phenomenological_config(d, 0.001, trials), online);
+  auto config = qec::phenomenological_config(d, 0.001, trials);
+  config.threads = qec::threads_override(args, 1);
+  config.shards = 16;  // fixed schedule: results independent of --threads
+  const auto run = qec::run_online_experiment(config, online);
   const double ns_per_cycle = 1e9 / freq;
   const double meas_max_ns = run.layer_cycles.max() * ns_per_cycle;
   const double meas_avg_ns = run.layer_cycles.mean() * ns_per_cycle;

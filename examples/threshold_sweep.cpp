@@ -2,38 +2,24 @@
 // library over a physical-error-rate sweep and print the p / p_L curves —
 // the experiment behind Fig 4a, Fig 7 and Table IV, exposed as a tool.
 //
-//   ./threshold_sweep --decoder=qecool|mwpm|uf|aqec [--mode=3d|2d]
-//                     [--dmin=5 --dmax=9] [--trials=500]
-//                     [--pmin=0.004 --pmax=0.04 --points=7]
-#include <cmath>
+// The decoder is any registry spec, so engine knobs sweep too:
+//   ./threshold_sweep --decoder=qecool|mwpm|uf|aqec|windowed-mwpm|ml
+//   ./threshold_sweep "--decoder=qecool:reg_depth=4" [--mode=3d|2d]
+//                     [--dmin=5 --dmax=9] [--trials=500] [--threads=N]
+//                     [--pmin=0.004 --pmax=0.04 --points=7] [--csv=out.csv]
 #include <cstdio>
-#include <memory>
+#include <exception>
 #include <string>
 #include <vector>
 
-#include "aqec/aqec_decoder.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "mwpm/mwpm_decoder.hpp"
-#include "qecool/qecool_decoder.hpp"
-#include "sim/monte_carlo.hpp"
-#include "sim/threshold.hpp"
-#include "unionfind/uf_decoder.hpp"
-
-namespace {
-
-std::unique_ptr<qec::Decoder> make_decoder(const std::string& name) {
-  if (name == "mwpm") return std::make_unique<qec::MwpmDecoder>();
-  if (name == "uf") return std::make_unique<qec::UnionFindDecoder>();
-  if (name == "aqec") return std::make_unique<qec::AqecDecoder>();
-  return std::make_unique<qec::BatchQecoolDecoder>();
-}
-
-}  // namespace
+#include "decoder/registry.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
-  const std::string name = args.get_or("decoder", "qecool");
+  const std::string spec = args.get_or("decoder", "qecool");
   const bool three_d = args.get_or("mode", "3d") == "3d";
   const int dmin = static_cast<int>(args.get_int_or("dmin", 5));
   const int dmax = static_cast<int>(args.get_int_or("dmax", 9));
@@ -42,37 +28,44 @@ int main(int argc, char** argv) {
   const double pmax = args.get_double_or("pmax", three_d ? 0.04 : 0.13);
   const int points = static_cast<int>(args.get_int_or("points", 7));
 
-  std::printf("threshold sweep: decoder=%s mode=%s d=%d..%d trials=%d\n\n",
-              name.c_str(), three_d ? "3d" : "2d", dmin, dmax, trials);
+  std::printf("threshold sweep: decoder=%s mode=%s d=%d..%d trials=%d\n",
+              spec.c_str(), three_d ? "3d" : "2d", dmin, dmax, trials);
+  std::printf("registered decoders:");
+  for (const auto& name : qec::registered_decoders()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
 
-  std::vector<double> ps;
-  for (int i = 0; i < points; ++i) {
-    ps.push_back(pmin * std::pow(pmax / pmin,
-                                 static_cast<double>(i) / (points - 1)));
+  qec::SweepGrid grid;
+  grid.variants.push_back(qec::decoder_variant(spec, spec));
+  for (int d = dmin; d <= dmax; d += 2) grid.distances.push_back(d);
+  grid.ps = qec::log_spaced(pmin, pmax, points);
+  grid.code_capacity = !three_d;
+  grid.trials = trials;
+  grid.threads = qec::threads_override(args, 1);
+
+  qec::SweepResult result;
+  try {
+    result = qec::run_sweep(grid, args.get_or("csv", ""));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
   }
 
   std::vector<std::string> header = {"d"};
-  for (double p : ps) header.push_back("p=" + qec::TextTable::fmt(p, 4));
+  for (double p : grid.ps) header.push_back("p=" + qec::TextTable::fmt(p, 4));
   qec::TextTable table(header);
-
-  std::vector<qec::DistanceCurve> curves;
-  for (int d = dmin; d <= dmax; d += 2) {
-    qec::DistanceCurve curve{d, {}};
+  for (int d : grid.distances) {
     std::vector<std::string> row = {std::to_string(d)};
-    for (double p : ps) {
-      auto decoder = make_decoder(name);
-      const auto cfg = three_d ? qec::phenomenological_config(d, p, trials)
-                               : qec::code_capacity_config(d, p, trials);
-      const auto r = qec::run_memory_experiment(*decoder, cfg);
-      curve.points.push_back({p, r.logical_error_rate});
-      row.push_back(qec::TextTable::sci(r.logical_error_rate, 2));
+    for (double p : grid.ps) {
+      row.push_back(qec::TextTable::sci(
+          result.find(spec, d, p)->result.logical_error_rate, 2));
     }
-    curves.push_back(curve);
     table.add_row(row);
   }
   table.print();
 
-  const auto th = qec::estimate_threshold(curves);
+  const auto th = result.threshold(spec);
   if (th) {
     std::printf("\nestimated threshold p_th = %.4f (%.2f%%)\n", *th,
                 *th * 100);

@@ -85,4 +85,16 @@ std::int64_t trials_override(const CliArgs& args, std::int64_t fallback) {
   return fallback;
 }
 
+int threads_override(const CliArgs& args, int fallback) {
+  if (const auto v = args.get_int("threads")) {
+    return static_cast<int>(*v);
+  }
+  if (const char* env = std::getenv("QECOOL_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0) return static_cast<int>(v);
+  }
+  return fallback;
+}
+
 }  // namespace qec

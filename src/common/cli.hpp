@@ -40,4 +40,9 @@ class CliArgs {
 /// back to `fallback`. Shared by every bench binary.
 std::int64_t trials_override(const CliArgs& args, std::int64_t fallback);
 
+/// Reads worker-thread override from --threads or env QECOOL_THREADS,
+/// falling back to `fallback`. 0 means "all hardware threads"; results are
+/// thread-count independent (the sweep driver fixes the shard schedule).
+int threads_override(const CliArgs& args, int fallback = 1);
+
 }  // namespace qec

@@ -22,6 +22,10 @@ class CsvWriter {
   /// Convenience for numeric rows.
   void add_row(const std::vector<double>& row);
 
+  /// Pushes buffered rows to disk; long-running writers call this after
+  /// each row so an interrupted run keeps everything finished so far.
+  void flush() { out_.flush(); }
+
  private:
   static std::string escape(const std::string& field);
 

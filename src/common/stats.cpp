@@ -16,6 +16,27 @@ void RunningStats::add(double x) {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+void MatchStats::record(int dt) {
+  if (static_cast<std::size_t>(dt) >= vertical_hist.size()) {
+    vertical_hist.resize(static_cast<std::size_t>(dt) + 1, 0);
+  }
+  ++vertical_hist[static_cast<std::size_t>(dt)];
+  if (dt >= 3) ++vertical_ge3;
+}
+
+void MatchStats::merge(const MatchStats& other) {
+  pair_matches += other.pair_matches;
+  self_matches += other.self_matches;
+  boundary_matches += other.boundary_matches;
+  vertical_ge3 += other.vertical_ge3;
+  if (vertical_hist.size() < other.vertical_hist.size()) {
+    vertical_hist.resize(other.vertical_hist.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.vertical_hist.size(); ++i) {
+    vertical_hist[i] += other.vertical_hist[i];
+  }
+}
+
 void RunningStats::merge(const RunningStats& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace qec {
 
@@ -31,6 +32,24 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Aggregate matching statistics (Fig 4b instrumentation). Lives here
+/// rather than with the QECOOL engine so the generic Decoder interface and
+/// the Monte Carlo merge path can use it without depending on qecool/.
+struct MatchStats {
+  std::uint64_t pair_matches = 0;      ///< Unit-to-other-Unit matches.
+  std::uint64_t self_matches = 0;      ///< Pure time-like (same Unit).
+  std::uint64_t boundary_matches = 0;  ///< Unit-to-Boundary matches.
+  std::uint64_t vertical_ge3 = 0;      ///< Matches with |t - b| >= 3.
+  std::vector<std::uint64_t> vertical_hist;  ///< [dt] -> count.
+
+  std::uint64_t total() const {
+    return pair_matches + self_matches + boundary_matches;
+  }
+  void record(int dt);
+  /// Merges another accumulator (parallel reduction).
+  void merge(const MatchStats& other);
 };
 
 /// Two-sided binomial confidence interval.

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/stats.hpp"
 #include "noise/phenomenological.hpp"
 #include "surface_code/pauli_frame.hpp"
 #include "surface_code/planar_lattice.hpp"
@@ -30,6 +31,11 @@ class Decoder {
   /// call. Implementations must be deterministic given the history.
   virtual DecodeResult decode(const PlanarLattice& lattice,
                               const SyndromeHistory& history) = 0;
+
+  /// Matching statistics of the most recent decode, for decoders that
+  /// instrument their matches (Fig 4b); nullptr for decoders that don't.
+  /// The Monte Carlo harness merges these into ExperimentResult::matches.
+  virtual const MatchStats* match_stats() const { return nullptr; }
 };
 
 /// True iff applying `result.correction` to `history.final_error` leaves a

@@ -16,27 +16,6 @@ constexpr int kPortNorth = 2;
 constexpr int kPortSouth = 3;
 }  // namespace
 
-void MatchStats::record(int dt) {
-  if (static_cast<std::size_t>(dt) >= vertical_hist.size()) {
-    vertical_hist.resize(static_cast<std::size_t>(dt) + 1, 0);
-  }
-  ++vertical_hist[static_cast<std::size_t>(dt)];
-  if (dt >= 3) ++vertical_ge3;
-}
-
-void MatchStats::merge(const MatchStats& other) {
-  pair_matches += other.pair_matches;
-  self_matches += other.self_matches;
-  boundary_matches += other.boundary_matches;
-  vertical_ge3 += other.vertical_ge3;
-  if (vertical_hist.size() < other.vertical_hist.size()) {
-    vertical_hist.resize(other.vertical_hist.size(), 0);
-  }
-  for (std::size_t i = 0; i < other.vertical_hist.size(); ++i) {
-    vertical_hist[i] += other.vertical_hist[i];
-  }
-}
-
 bool QecoolEngine::Candidate::operator<(const Candidate& other) const {
   if (arrival2 != other.arrival2) return arrival2 < other.arrival2;
   if (port != other.port) return port < other.port;

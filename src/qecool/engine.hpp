@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "qecool/config.hpp"
 #include "surface_code/pauli_frame.hpp"
 #include "surface_code/planar_lattice.hpp"
@@ -47,21 +48,6 @@ struct MatchEvent {
   int source_depth = 0;
   int hop_limit = 0;    ///< C at match time
   std::uint64_t cycle = 0;  ///< engine cycle counter at match time
-};
-
-/// Aggregate matching statistics (Fig 4b instrumentation).
-struct MatchStats {
-  std::uint64_t pair_matches = 0;      ///< Unit-to-other-Unit matches.
-  std::uint64_t self_matches = 0;      ///< Pure time-like (same Unit).
-  std::uint64_t boundary_matches = 0;  ///< Unit-to-Boundary matches.
-  std::uint64_t vertical_ge3 = 0;      ///< Matches with |t - b| >= 3.
-  std::vector<std::uint64_t> vertical_hist;  ///< [dt] -> count.
-
-  std::uint64_t total() const {
-    return pair_matches + self_matches + boundary_matches;
-  }
-  void record(int dt);
-  void merge(const MatchStats& other);
 };
 
 class QecoolEngine {

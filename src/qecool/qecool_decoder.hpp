@@ -24,6 +24,8 @@ class BatchQecoolDecoder final : public Decoder {
   /// Match statistics of the most recent decode (Fig 4b instrumentation).
   const MatchStats& last_match_stats() const { return last_stats_; }
 
+  const MatchStats* match_stats() const override { return &last_stats_; }
+
  private:
   QecoolConfig config_;
   MatchStats last_stats_;

@@ -1,0 +1,118 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace qec {
+
+int resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+struct ThreadPool::Job {
+  const std::function<void(int)>* fn = nullptr;
+  int tasks = 0;
+  int max_workers = 0;  // pool workers allowed in (caller not counted)
+  std::atomic<int> next{0};
+  int active = 0;  // workers inside execute(); guarded by the pool mutex
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void execute() {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(tasks, std::memory_order_relaxed);  // abandon the range
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) {
+  const int total = resolve_threads(threads);
+  workers_.reserve(static_cast<std::size_t>(total > 0 ? total - 1 : 0));
+  for (int i = 1; i < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] {
+      return stopping_ || (job_ != nullptr && generation_ != seen_generation);
+    });
+    if (stopping_) return;
+    seen_generation = generation_;
+    Job* job = job_;
+    if (job->active >= job->max_workers) continue;  // job is at its cap
+    ++job->active;
+    lock.unlock();
+    job->execute();
+    lock.lock();
+    if (--job->active == 0) drained_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(int tasks, const std::function<void(int)>& fn,
+                              int max_threads) {
+  if (tasks <= 0) return;
+  const std::lock_guard<std::mutex> serialize(run_mutex_);
+  Job job;
+  job.fn = &fn;
+  job.tasks = tasks;
+  job.max_workers = (max_threads <= 0 ? size() : std::min(max_threads, size())) - 1;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_.notify_all();
+  job.execute();  // the calling thread is a worker too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = nullptr;  // late workers must no longer pick the job up
+    drained_.wait(lock, [&] { return job.active == 0; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+std::shared_ptr<ThreadPool> shared_pool(int min_threads) {
+  static std::mutex mutex;
+  static std::shared_ptr<ThreadPool> pool;
+  const int total = resolve_threads(min_threads);
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!pool || pool->size() < total) {
+    pool = std::make_shared<ThreadPool>(total);
+  }
+  return pool;
+}
+
+void parallel_for(int tasks, int threads, const std::function<void(int)>& fn) {
+  const int total = std::min(resolve_threads(threads), std::max(tasks, 1));
+  if (total <= 1 || tasks <= 1) {
+    for (int i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  shared_pool(total)->parallel_for(tasks, fn, total);
+}
+
+}  // namespace qec

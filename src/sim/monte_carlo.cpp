@@ -1,6 +1,9 @@
 #include "sim/monte_carlo.hpp"
 
-#include "qecool/qecool_decoder.hpp"
+#include <bit>
+#include <vector>
+
+#include "sim/executor.hpp"
 
 namespace qec {
 
@@ -28,6 +31,14 @@ ExperimentConfig code_capacity_config(int distance, double p, int trials,
   return config;
 }
 
+void ExperimentResult::merge(const ExperimentResult& other) {
+  trials += other.trials;
+  failures += other.failures;
+  operational_failures += other.operational_failures;
+  layer_cycles.merge(other.layer_cycles);
+  matches.merge(other.matches);
+}
+
 void ExperimentResult::finalize() {
   logical_error_rate =
       trials ? static_cast<double>(failures) / static_cast<double>(trials)
@@ -35,19 +46,30 @@ void ExperimentResult::finalize() {
   ci = wilson_interval(failures, trials);
 }
 
-namespace {
-
-Xoshiro256ss seeded_rng(const ExperimentConfig& config) {
-  // Mix the structural parameters into the seed so every (d, p, rounds)
-  // point draws an independent stream while staying reproducible.
+Xoshiro256ss experiment_rng(const ExperimentConfig& config, int shard) {
+  // Feed every structural parameter through a full SplitMix64 avalanche so
+  // any single-bit change — including p-values far below 1e-12, via their
+  // raw IEEE-754 bit patterns — yields an unrelated stream.
   std::uint64_t state = config.seed;
-  state ^= static_cast<std::uint64_t>(config.distance) * 0x9e3779b97f4a7c15ULL;
-  state ^= static_cast<std::uint64_t>(config.rounds) * 0xbf58476d1ce4e5b9ULL;
-  state ^= static_cast<std::uint64_t>(config.p_data * 1e12);
-  state ^= static_cast<std::uint64_t>(config.p_meas * 1e12) << 1;
-  std::uint64_t mixed = state;
-  return Xoshiro256ss(splitmix64(mixed));
+  const auto feed = [&state](std::uint64_t value) {
+    state ^= value;
+    state = splitmix64(state);
+  };
+  feed(static_cast<std::uint64_t>(config.distance));
+  feed(static_cast<std::uint64_t>(config.rounds));
+  feed(std::bit_cast<std::uint64_t>(config.p_data));
+  feed(std::bit_cast<std::uint64_t>(config.p_meas));
+  Xoshiro256ss rng(state);
+  for (int i = 0; i < shard; ++i) rng.jump();
+  return rng;
 }
+
+int resolve_shards(const ExperimentConfig& config) {
+  if (config.shards >= 1) return config.shards;
+  return resolve_threads(config.threads);
+}
+
+namespace {
 
 NoiseParams noise_params(const ExperimentConfig& config) {
   NoiseParams params;
@@ -57,35 +79,35 @@ NoiseParams noise_params(const ExperimentConfig& config) {
   return params;
 }
 
-}  // namespace
+/// Trials assigned to `shard`: an even split, earlier shards absorbing the
+/// remainder, so the schedule is a pure function of (trials, shards).
+int shard_trials(int trials, int shards, int shard) {
+  return trials / shards + (shard < trials % shards ? 1 : 0);
+}
 
-ExperimentResult run_memory_experiment(Decoder& decoder,
-                                       const ExperimentConfig& config) {
-  const PlanarLattice lattice(config.distance);
-  const NoiseParams params = noise_params(config);
-  Xoshiro256ss rng = seeded_rng(config);
-
+ExperimentResult run_memory_shard(Decoder& decoder,
+                                  const PlanarLattice& lattice,
+                                  const NoiseParams& params, Xoshiro256ss rng,
+                                  int trials) {
   ExperimentResult result;
-  auto* qecool = dynamic_cast<BatchQecoolDecoder*>(&decoder);
-  for (int trial = 0; trial < config.trials; ++trial) {
+  for (int trial = 0; trial < trials; ++trial) {
     const SyndromeHistory history = sample_history(lattice, params, rng);
     const DecodeResult decode = decoder.decode(lattice, history);
     if (logical_failure(lattice, history, decode)) ++result.failures;
-    if (qecool) result.matches.merge(qecool->last_match_stats());
+    if (const MatchStats* stats = decoder.match_stats()) {
+      result.matches.merge(*stats);
+    }
     ++result.trials;
   }
-  result.finalize();
   return result;
 }
 
-ExperimentResult run_online_experiment(const ExperimentConfig& config,
-                                       const OnlineConfig& online) {
-  const PlanarLattice lattice(config.distance);
-  const NoiseParams params = noise_params(config);
-  Xoshiro256ss rng = seeded_rng(config);
-
+ExperimentResult run_online_shard(const PlanarLattice& lattice,
+                                  const NoiseParams& params,
+                                  const OnlineConfig& online, Xoshiro256ss rng,
+                                  int trials) {
   ExperimentResult result;
-  for (int trial = 0; trial < config.trials; ++trial) {
+  for (int trial = 0; trial < trials; ++trial) {
     const SyndromeHistory history = sample_history(lattice, params, rng);
     const OnlineResult run = run_online(lattice, history, online);
     bool failed = run.failed_operationally();
@@ -103,8 +125,63 @@ ExperimentResult run_online_experiment(const ExperimentConfig& config,
     }
     ++result.trials;
   }
+  return result;
+}
+
+/// Shared shard-fanout skeleton: runs `shard_fn(shard, rng, trials)` for
+/// every shard (in parallel up to config.threads) and merges the per-shard
+/// results in shard order, so the reduction is deterministic.
+template <typename ShardFn>
+ExperimentResult run_sharded(const ExperimentConfig& config, int threads,
+                             const ShardFn& shard_fn) {
+  const int shards = resolve_shards(config);
+  std::vector<ExperimentResult> parts(static_cast<std::size_t>(shards));
+  parallel_for(shards, threads, [&](int shard) {
+    parts[static_cast<std::size_t>(shard)] =
+        shard_fn(shard, experiment_rng(config, shard),
+                 shard_trials(config.trials, shards, shard));
+  });
+  ExperimentResult result;
+  for (const ExperimentResult& part : parts) result.merge(part);
   result.finalize();
   return result;
+}
+
+}  // namespace
+
+ExperimentResult run_memory_experiment(const DecoderMaker& make,
+                                       const ExperimentConfig& config) {
+  const PlanarLattice lattice(config.distance);
+  const NoiseParams params = noise_params(config);
+  return run_sharded(config, config.threads,
+                     [&](int /*shard*/, Xoshiro256ss rng, int trials) {
+                       const auto decoder = make();
+                       return run_memory_shard(*decoder, lattice, params,
+                                               rng, trials);
+                     });
+}
+
+ExperimentResult run_memory_experiment(Decoder& decoder,
+                                       const ExperimentConfig& config) {
+  const PlanarLattice lattice(config.distance);
+  const NoiseParams params = noise_params(config);
+  // One shared instance — same shard schedule, forced sequential.
+  return run_sharded(config, /*threads=*/1,
+                     [&](int /*shard*/, Xoshiro256ss rng, int trials) {
+                       return run_memory_shard(decoder, lattice, params, rng,
+                                               trials);
+                     });
+}
+
+ExperimentResult run_online_experiment(const ExperimentConfig& config,
+                                       const OnlineConfig& online) {
+  const PlanarLattice lattice(config.distance);
+  const NoiseParams params = noise_params(config);
+  return run_sharded(config, config.threads,
+                     [&](int /*shard*/, Xoshiro256ss rng, int trials) {
+                       return run_online_shard(lattice, params, online, rng,
+                                               trials);
+                     });
 }
 
 }  // namespace qec

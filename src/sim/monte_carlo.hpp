@@ -1,10 +1,23 @@
 // Monte Carlo memory experiments: sample a phenomenological-noise history,
 // decode it, apply the correction and score the logical observable — the
 // procedure behind every accuracy figure in the paper.
+//
+// Trials are split into `shards`, each drawing from an independent RNG
+// stream derived from the mixed seed via Xoshiro256ss::jump(), and shard
+// results are merged in shard order. The shard schedule and merge order
+// depend only on (seed, trials, shards), so for a FIXED shard count a run
+// is bit-identical for any thread count, and the default
+// threads = 1 / shards = 0 reproduces the original sequential single-stream
+// loop seed-for-seed (one shard, zero jumps). The shards = 0 fallback
+// derives the shard count from `threads`, so whoever varies threads with
+// shards left at 0 accepts a changed seed schedule — pin `shards` when
+// results must be stable under varying thread counts (the sweep driver
+// pins 16).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "common/stats.hpp"
 #include "decoder/decoder.hpp"
@@ -21,6 +34,17 @@ struct ExperimentConfig {
   double p_meas = 1e-3;
   int trials = 1000;
   std::uint64_t seed = 2021;
+
+  /// Worker threads; <= 0 means all hardware threads. With `shards` set
+  /// explicitly this never affects the sampled streams or the result —
+  /// only wall-clock. With shards = 0 it also picks the shard count, and
+  /// the shard count IS part of the seed schedule.
+  int threads = 1;
+  /// RNG shards; 0 derives one shard per resolved worker thread (machine-
+  /// dependent when threads <= 0). Each shard is an independent stream, so
+  /// fix this explicitly when results must be identical across machines
+  /// and thread counts (the sweep driver pins 16).
+  int shards = 0;
 };
 
 /// Convenience constructors for the two standard settings.
@@ -28,6 +52,15 @@ ExperimentConfig phenomenological_config(int distance, double p, int trials,
                                          std::uint64_t seed = 2021);
 ExperimentConfig code_capacity_config(int distance, double p, int trials,
                                       std::uint64_t seed = 2021);
+
+/// The RNG stream of one shard: the seed is mixed with the structural
+/// parameters (distance, rounds, and the full IEEE-754 bits of both
+/// p-values, so arbitrarily small probabilities still perturb the stream),
+/// then jumped `shard` times. Exposed for determinism tests.
+Xoshiro256ss experiment_rng(const ExperimentConfig& config, int shard = 0);
+
+/// Number of shards `config` resolves to (>= 1).
+int resolve_shards(const ExperimentConfig& config);
 
 struct ExperimentResult {
   std::uint64_t trials = 0;
@@ -39,14 +72,31 @@ struct ExperimentResult {
   RunningStats layer_cycles;  ///< per-layer execution cycles (Table III)
   MatchStats matches;         ///< vertical-propagation stats (Fig 4b)
 
+  /// Folds another shard's counters in (parallel reduction; call in shard
+  /// order for reproducible floating-point sums, then finalize()).
+  void merge(const ExperimentResult& other);
+
   void finalize();
 };
 
-/// Batch experiment with any Decoder implementation.
+/// Builds one decoder instance per shard so worker threads never share
+/// decoder state; see decoder_maker() in decoder/registry.hpp.
+using DecoderMaker = std::function<std::unique_ptr<Decoder>()>;
+
+/// Sharded batch experiment: each shard decodes with its own instance from
+/// `make`, in parallel when config.threads > 1.
+ExperimentResult run_memory_experiment(const DecoderMaker& make,
+                                       const ExperimentConfig& config);
+
+/// Batch experiment with a caller-owned decoder instance. Runs the same
+/// shard schedule strictly sequentially (one instance cannot be shared
+/// across threads) — bit-identical to the DecoderMaker overload with the
+/// same config, whatever its thread count.
 ExperimentResult run_memory_experiment(Decoder& decoder,
                                        const ExperimentConfig& config);
 
-/// On-line QECOOL experiment (cycle-budgeted streaming decode).
+/// On-line QECOOL experiment (cycle-budgeted streaming decode), sharded and
+/// parallel exactly like the batch path.
 ExperimentResult run_online_experiment(const ExperimentConfig& config,
                                        const OnlineConfig& online);
 

@@ -1,0 +1,156 @@
+#include "sim/sweep.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "decoder/registry.hpp"
+
+namespace qec {
+
+SweepVariant decoder_variant(std::string label, std::string decoder_spec) {
+  SweepVariant variant;
+  variant.label = std::move(label);
+  variant.decoder = std::move(decoder_spec);
+  return variant;
+}
+
+SweepVariant online_variant(std::string label, OnlineConfig online) {
+  SweepVariant variant;
+  variant.label = std::move(label);
+  variant.online = online;
+  return variant;
+}
+
+ExperimentConfig SweepGrid::cell_config(int distance, double p) const {
+  ExperimentConfig config = code_capacity
+                                ? code_capacity_config(distance, p, trials, seed)
+                                : phenomenological_config(distance, p, trials,
+                                                          seed);
+  config.threads = threads;
+  config.shards = shards;
+  return config;
+}
+
+const SweepCell* SweepResult::find(std::string_view variant, int distance,
+                                   double p) const {
+  for (const SweepCell& cell : cells) {
+    if (cell.variant == variant && cell.distance == distance &&
+        cell.p == p) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<DistanceCurve> SweepResult::curves(
+    std::string_view variant) const {
+  std::vector<DistanceCurve> out;
+  for (const SweepCell& cell : cells) {
+    if (cell.variant != variant) continue;
+    if (out.empty() || out.back().distance != cell.distance) {
+      out.push_back({cell.distance, {}});
+    }
+    out.back().points.push_back({cell.p, cell.result.logical_error_rate});
+  }
+  return out;
+}
+
+std::optional<double> SweepResult::threshold(std::string_view variant) const {
+  return estimate_threshold(curves(variant));
+}
+
+namespace {
+
+std::vector<std::string> csv_header() {
+  return {"variant", "decoder", "distance", "rounds", "p", "trials",
+          "failures", "operational_failures", "pl", "ci_lower", "ci_upper"};
+}
+
+void csv_append(CsvWriter& csv, const SweepCell& cell) {
+  csv.add_row({cell.variant, cell.decoder, std::to_string(cell.distance),
+               std::to_string(cell.config.rounds), TextTable::fmt(cell.p, 6),
+               std::to_string(cell.result.trials),
+               std::to_string(cell.result.failures),
+               std::to_string(cell.result.operational_failures),
+               TextTable::sci(cell.result.logical_error_rate, 6),
+               TextTable::sci(cell.result.ci.lower, 6),
+               TextTable::sci(cell.result.ci.upper, 6)});
+}
+
+}  // namespace
+
+bool SweepResult::write_csv(const std::string& path) const {
+  CsvWriter csv(path, csv_header());
+  if (!csv.ok()) return false;
+  for (const SweepCell& cell : cells) csv_append(csv, cell);
+  return true;
+}
+
+SweepResult run_sweep(const SweepGrid& grid, const std::string& csv_path,
+                      const SweepProgress& progress) {
+  // Validate every decoder spec and the CSV destination before burning any
+  // Monte Carlo time.
+  std::vector<DecoderMaker> makers(grid.variants.size());
+  for (std::size_t i = 0; i < grid.variants.size(); ++i) {
+    if (!grid.variants[i].online) {
+      makers[i] = decoder_maker(grid.variants[i].decoder);
+    }
+  }
+  std::unique_ptr<CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<CsvWriter>(csv_path, csv_header());
+    if (!csv->ok()) {
+      throw std::runtime_error("sweep: cannot write CSV to " + csv_path);
+    }
+  }
+
+  SweepResult result;
+  result.cells.reserve(grid.variants.size() * grid.distances.size() *
+                       grid.ps.size());
+  for (std::size_t v = 0; v < grid.variants.size(); ++v) {
+    const SweepVariant& variant = grid.variants[v];
+    for (int distance : grid.distances) {
+      for (double p : grid.ps) {
+        SweepCell cell;
+        cell.variant = variant.label;
+        cell.decoder = variant.online ? "online" : variant.decoder;
+        cell.distance = distance;
+        cell.p = p;
+        cell.config = grid.cell_config(distance, p);
+        if (variant.trials_for) {
+          cell.config.trials = variant.trials_for(cell.config);
+        }
+        cell.result = variant.online
+                          ? run_online_experiment(cell.config, *variant.online)
+                          : run_memory_experiment(makers[v], cell.config);
+        result.cells.push_back(std::move(cell));
+        // Stream the row immediately so an interrupted sweep keeps every
+        // finished point on disk.
+        if (csv) {
+          csv_append(*csv, result.cells.back());
+          csv->flush();
+        }
+        if (progress) progress(result.cells.back());
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> log_spaced(double lo, double hi, int points) {
+  std::vector<double> out;
+  if (points <= 1) {
+    out.push_back(lo);
+    return out;
+  }
+  for (int i = 0; i < points; ++i) {
+    out.push_back(lo * std::pow(hi / lo,
+                                static_cast<double>(i) / (points - 1)));
+  }
+  return out;
+}
+
+}  // namespace qec

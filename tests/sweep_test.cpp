@@ -1,0 +1,147 @@
+// Tests for the unified sweep driver: grid enumeration, curve/threshold
+// extraction, CSV output, on-line variants, and thread-count invariance.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/sweep.hpp"
+
+namespace qec {
+namespace {
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.variants.push_back(decoder_variant("qecool", "qecool"));
+  grid.variants.push_back(decoder_variant("mwpm", "mwpm"));
+  grid.distances = {3, 5};
+  grid.ps = {0.01, 0.03};
+  grid.trials = 50;
+  grid.seed = 7;
+  grid.shards = 4;
+  return grid;
+}
+
+TEST(Sweep, EnumeratesEveryCellVariantMajor) {
+  const auto result = run_sweep(small_grid());
+  ASSERT_EQ(result.cells.size(), 8u);
+  EXPECT_EQ(result.cells[0].variant, "qecool");
+  EXPECT_EQ(result.cells[0].distance, 3);
+  EXPECT_DOUBLE_EQ(result.cells[0].p, 0.01);
+  EXPECT_EQ(result.cells[3].variant, "qecool");
+  EXPECT_EQ(result.cells[3].distance, 5);
+  EXPECT_DOUBLE_EQ(result.cells[3].p, 0.03);
+  EXPECT_EQ(result.cells[4].variant, "mwpm");
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.result.trials, 50u);
+  }
+}
+
+TEST(Sweep, FindAndCurves) {
+  const auto result = run_sweep(small_grid());
+  const auto* cell = result.find("mwpm", 5, 0.03);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->decoder, "mwpm");
+  EXPECT_EQ(result.find("mwpm", 5, 0.05), nullptr);
+  EXPECT_EQ(result.find("uf", 5, 0.03), nullptr);
+
+  const auto curves = result.curves("qecool");
+  ASSERT_EQ(curves.size(), 2u);
+  EXPECT_EQ(curves[0].distance, 3);
+  EXPECT_EQ(curves[1].distance, 5);
+  ASSERT_EQ(curves[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(curves[0].points[0].p, 0.01);
+}
+
+TEST(Sweep, RoundsFollowTheMode) {
+  SweepGrid grid = small_grid();
+  const auto three_d = run_sweep(grid);
+  EXPECT_EQ(three_d.find("qecool", 5, 0.01)->config.rounds, 5);
+  grid.code_capacity = true;
+  const auto two_d = run_sweep(grid);
+  EXPECT_EQ(two_d.find("qecool", 5, 0.01)->config.rounds, 1);
+  EXPECT_DOUBLE_EQ(two_d.find("qecool", 5, 0.01)->config.p_meas, 0.0);
+}
+
+TEST(Sweep, PerVariantTrialOverride) {
+  SweepGrid grid = small_grid();
+  grid.variants[1].trials_for = [](const ExperimentConfig& config) {
+    return config.distance == 5 ? 10 : 20;
+  };
+  const auto result = run_sweep(grid);
+  EXPECT_EQ(result.find("qecool", 5, 0.01)->result.trials, 50u);
+  EXPECT_EQ(result.find("mwpm", 3, 0.01)->result.trials, 20u);
+  EXPECT_EQ(result.find("mwpm", 5, 0.01)->result.trials, 10u);
+}
+
+TEST(Sweep, UnknownDecoderFailsBeforeSimulating) {
+  SweepGrid grid = small_grid();
+  grid.variants.push_back(decoder_variant("bad", "bogus"));
+  int cells_run = 0;
+  EXPECT_THROW(
+      run_sweep(grid, "", [&](const SweepCell&) { ++cells_run; }),
+      std::invalid_argument);
+  EXPECT_EQ(cells_run, 0);
+}
+
+TEST(Sweep, ThreadCountNeverChangesResults) {
+  SweepGrid grid = small_grid();
+  grid.threads = 1;
+  const auto sequential = run_sweep(grid);
+  grid.threads = 4;
+  const auto parallel = run_sweep(grid);
+  ASSERT_EQ(sequential.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < sequential.cells.size(); ++i) {
+    EXPECT_EQ(sequential.cells[i].result.failures,
+              parallel.cells[i].result.failures);
+    EXPECT_EQ(sequential.cells[i].result.matches.total(),
+              parallel.cells[i].result.matches.total());
+  }
+}
+
+TEST(Sweep, OnlineVariantReportsOperationalStats) {
+  SweepGrid grid;
+  OnlineConfig online;
+  online.cycles_per_round = 40;  // starved clock: overflows at d=11
+  grid.variants.push_back(online_variant("starved", online));
+  grid.distances = {11};
+  grid.ps = {0.01};
+  grid.trials = 40;
+  grid.shards = 4;
+  const auto result = run_sweep(grid);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].decoder, "online");
+  EXPECT_GT(result.cells[0].result.operational_failures, 0u);
+  EXPECT_GT(result.cells[0].overflow_rate(), 0.0);
+}
+
+TEST(Sweep, ProgressCallbackSeesEveryCell) {
+  int cells_seen = 0;
+  run_sweep(small_grid(), "", [&](const SweepCell&) { ++cells_seen; });
+  EXPECT_EQ(cells_seen, 8);
+}
+
+TEST(Sweep, WritesCsv) {
+  const std::string path = ::testing::TempDir() + "sweep_test.csv";
+  const auto result = run_sweep(small_grid(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1 + static_cast<int>(result.cells.size()));
+  std::remove(path.c_str());
+}
+
+TEST(Sweep, LogSpacedGrid) {
+  const auto ps = log_spaced(0.001, 0.1, 3);
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_DOUBLE_EQ(ps.front(), 0.001);
+  EXPECT_NEAR(ps[1], 0.01, 1e-12);
+  EXPECT_NEAR(ps.back(), 0.1, 1e-12);
+  EXPECT_EQ(log_spaced(0.5, 1.0, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace qec
