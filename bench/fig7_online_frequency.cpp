@@ -55,10 +55,8 @@ int main(int argc, char** argv) {
       });
 
   for (const auto& variant : grid.variants) {
-    std::printf("--- decoder clock %s (budget %llu cycles / layer) ---\n",
-                variant.label.c_str(),
-                static_cast<unsigned long long>(
-                    variant.online->cycles_per_round));
+    std::printf("--- decoder clock %s (budget %.0f cycles / layer) ---\n",
+                variant.label.c_str(), variant.online->cycles_per_round);
     std::vector<std::string> header = {"d"};
     for (double p : grid.ps) header.push_back("p=" + qec::TextTable::fmt(p, 4));
     header.push_back("overflow@p=0.01");

@@ -1,0 +1,101 @@
+// Soak bench for the streaming decode service: many logical-qubit lanes
+// streamed round-by-round through on-line QECOOL engines, with queue-depth
+// and latency telemetry. The fleet-scale version of Fig 7's keep-up
+// question: at a given clock, how many of N concurrent streams survive a
+// long run without Reg overflow?
+//
+//   stream_soak [--lanes=64] [--d=7] [--p=0.01] [--rounds=256] [--mhz=2000]
+//               [--engine=qecool] [--seed=2021] [--threads=1]
+//               [--csv=telemetry.csv] [--trace-out=run.qtrc]
+//               [--trace-in=run.qtrc] [--drain=1000]
+//
+// With a fixed seed the telemetry CSV is byte-identical for any --threads
+// value, and a run replayed from --trace-in reproduces the recorded run's
+// per-lane overflow/drain outcomes exactly.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "qecool/online_runner.hpp"
+#include "stream/service.hpp"
+
+int main(int argc, char** argv) {
+  const qec::CliArgs args(argc, argv);
+  qec::StreamConfig config;
+  config.lanes = static_cast<int>(args.get_int_or("lanes", 64));
+  config.distance = static_cast<int>(args.get_int_or("d", 7));
+  config.p = args.get_double_or("p", 0.01);
+  config.rounds = static_cast<int>(args.get_int_or("rounds", 256));
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 2021));
+  config.engine = args.get_or("engine", "qecool");
+  config.cycles_per_round =
+      qec::cycles_per_microsecond(args.get_double_or("mhz", 2000.0) * 1e6);
+  config.max_drain_rounds = static_cast<int>(args.get_int_or("drain", 1000));
+  config.threads = qec::threads_override(args, 1);
+
+  qec::bench::print_header(
+      "Stream soak: N concurrent on-line lanes vs one decoder clock",
+      "Fig 7 scaled out — per-lane overflow/drain under sustained load");
+
+  try {
+    qec::SyndromeTrace trace;
+    const std::string trace_in = args.get_or("trace-in", "");
+    if (!trace_in.empty()) {
+      trace = qec::SyndromeTrace::load(trace_in);
+      std::printf("replaying %s: %d lanes, d=%u, %d rounds, p=%g\n\n",
+                  trace_in.c_str(), trace.lanes(), trace.header().distance,
+                  trace.rounds(), trace.header().p_data);
+    } else {
+      trace = qec::record_trace(config);
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const qec::StreamOutcome outcome = qec::run_stream(trace, config);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+    const std::string trace_out = args.get_or("trace-out", "");
+    if (!trace_out.empty()) {
+      trace.save(trace_out);
+      std::printf("trace recorded to %s\n", trace_out.c_str());
+    }
+
+    const auto all = outcome.telemetry.aggregate();
+    qec::TextTable table({"metric", "value"});
+    table.add_row({"lanes", std::to_string(outcome.lanes)});
+    table.add_row({"rounds streamed / lane", std::to_string(trace.rounds())});
+    table.add_row({"budget (cycles/round)",
+                   qec::TextTable::fmt(config.cycles_per_round, 2)});
+    table.add_row({"overflowed lanes", std::to_string(outcome.overflow_lanes)});
+    table.add_row({"drained lanes", std::to_string(outcome.drained_lanes)});
+    table.add_row({"logical failures", std::to_string(outcome.logical_failures)});
+    table.add_row({"failed lanes (any cause)",
+                   std::to_string(outcome.failed_lanes)});
+    table.add_row({"popped layers (all lanes)", std::to_string(all.popped_layers)});
+    table.add_row({"layer cycles p50/p95/p99",
+                   std::to_string(all.cycle_percentile(50)) + " / " +
+                       std::to_string(all.cycle_percentile(95)) + " / " +
+                       std::to_string(all.cycle_percentile(99))});
+    table.add_row({"queue depth mean / max",
+                   qec::TextTable::fmt(all.mean_depth(), 3) + " / " +
+                       std::to_string(all.max_depth())});
+    table.add_row({"total working cycles", std::to_string(all.total_cycles)});
+    table.print();
+    std::printf("\nwall-clock %.1f ms (--threads=%d)\n", ms, config.threads);
+
+    const std::string csv = args.get_or("csv", "");
+    if (!csv.empty()) {
+      if (!outcome.telemetry.write_csv(csv)) {
+        std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+        return 1;
+      }
+      std::printf("telemetry written to %s\n", csv.c_str());
+    }
+    return outcome.overflow_lanes == outcome.lanes ? 2 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stream_soak: %s\n", e.what());
+    return 1;
+  }
+}

@@ -65,10 +65,9 @@ int main(int argc, char** argv) {
            " (paper: 2498)"});
   table.print();
 
-  std::printf("\nQECOOL per-layer budget at 2 GHz: %llu cycles = 1 us; "
+  std::printf("\nQECOOL per-layer budget at 2 GHz: %.0f cycles = 1 us; "
               "measured max %.1f ns << 1000 ns, so the decoder keeps up "
               "with the measurement cadence (Section V-D).\n",
-              static_cast<unsigned long long>(online.cycles_per_round),
-              meas_max_ns);
+              online.cycles_per_round, meas_max_ns);
   return 0;
 }

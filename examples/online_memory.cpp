@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
 
   qec::QecoolConfig config;  // thv = 3, 7-entry Reg: the paper's hardware
   qec::QecoolEngine engine(lattice, config);
-  const std::uint64_t budget = qec::cycles_per_microsecond(ghz * 1e9);
+  const auto budget =
+      static_cast<std::uint64_t>(qec::cycles_per_microsecond(ghz * 1e9));
 
   std::uint64_t prev_cycles = 0;
   qec::MatchStats prev_stats;

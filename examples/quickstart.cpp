@@ -41,9 +41,9 @@ int main(int argc, char** argv) {
   std::printf("  MWPM (batch)   %-18.5f [%.5f, %.5f]\n",
               baseline.logical_error_rate, baseline.ci.lower,
               baseline.ci.upper);
-  std::printf("\n  QECOOL per-layer cycles: avg %.2f, max %.0f  (budget %llu)\n",
+  std::printf("\n  QECOOL per-layer cycles: avg %.2f, max %.0f  (budget %.0f)\n",
               qecool.layer_cycles.mean(), qecool.layer_cycles.max(),
-              static_cast<unsigned long long>(online.cycles_per_round));
+              online.cycles_per_round);
   std::printf("  overflow/drain failures: %llu of %llu trials\n",
               static_cast<unsigned long long>(qecool.operational_failures),
               static_cast<unsigned long long>(qecool.trials));

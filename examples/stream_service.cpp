@@ -1,0 +1,87 @@
+// Streaming decode service walk-through: record (or load) a multi-lane
+// syndrome trace, stream every lane through its own on-line QECOOL engine
+// round-by-round, and print one telemetry row per lane. Demonstrates the
+// record/replay split: run once with --trace-out, then again with
+// --trace-in and any --threads value — the per-lane outcomes match.
+//
+//   ./stream_service [--lanes=8] [--d=5] [--p=0.01] [--mhz=1000]
+//                    [--rounds=32] [--engine=qecool] [--seed=7]
+//                    [--threads=1] [--trace-out=s.qtrc] [--trace-in=s.qtrc]
+//                    [--csv=lanes.csv]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "qecool/online_runner.hpp"
+#include "stream/service.hpp"
+
+int main(int argc, char** argv) {
+  const qec::CliArgs args(argc, argv);
+  qec::StreamConfig config;
+  config.lanes = static_cast<int>(args.get_int_or("lanes", 8));
+  config.distance = static_cast<int>(args.get_int_or("d", 5));
+  config.p = args.get_double_or("p", 0.01);
+  config.rounds = static_cast<int>(args.get_int_or("rounds", 32));
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 7));
+  config.engine = args.get_or("engine", "qecool");
+  config.cycles_per_round =
+      qec::cycles_per_microsecond(args.get_double_or("mhz", 1000.0) * 1e6);
+  config.threads = qec::threads_override(args, 1);
+
+  try {
+    qec::SyndromeTrace trace;
+    const std::string trace_in = args.get_or("trace-in", "");
+    if (!trace_in.empty()) {
+      trace = qec::SyndromeTrace::load(trace_in);
+      std::printf("replaying trace %s\n", trace_in.c_str());
+    } else {
+      trace = qec::record_trace(config);
+    }
+    std::printf("streaming %d lanes, d=%u, %d rounds each, p=%g, budget "
+                "%.2f cycles/round, engine '%s'\n\n",
+                trace.lanes(), trace.header().distance, trace.rounds(),
+                trace.header().p_data, config.cycles_per_round,
+                config.engine.c_str());
+
+    const auto outcome = qec::run_stream(trace, config);
+
+    qec::TextTable table({"lane", "outcome", "drain rounds", "popped",
+                          "cycles p50/p99", "depth mean/max"});
+    for (const auto& lane : outcome.telemetry.lanes) {
+      const char* verdict = lane.overflow          ? "OVERFLOW"
+                            : !lane.drained        ? "undrained"
+                            : lane.logical_failure ? "logical error"
+                                                   : "ok";
+      table.add_row({std::to_string(lane.lane), verdict,
+                     std::to_string(lane.drain_rounds),
+                     std::to_string(lane.popped_layers),
+                     std::to_string(lane.cycle_percentile(50)) + " / " +
+                         std::to_string(lane.cycle_percentile(99)),
+                     qec::TextTable::fmt(lane.mean_depth(), 2) + " / " +
+                         std::to_string(lane.max_depth())});
+    }
+    table.print();
+    std::printf("\n%d/%d lanes drained, %d overflowed, %d logical failures\n",
+                outcome.drained_lanes, outcome.lanes, outcome.overflow_lanes,
+                outcome.logical_failures);
+
+    const std::string trace_out = args.get_or("trace-out", "");
+    if (!trace_out.empty()) {
+      trace.save(trace_out);
+      std::printf("trace saved to %s (replay with --trace-in=%s)\n",
+                  trace_out.c_str(), trace_out.c_str());
+    }
+    const std::string csv = args.get_or("csv", "");
+    if (!csv.empty()) {
+      if (!outcome.telemetry.write_csv(csv)) {
+        std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+        return 1;
+      }
+      std::printf("telemetry saved to %s\n", csv.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stream_service: %s\n", e.what());
+    return 1;
+  }
+}

@@ -69,4 +69,19 @@ BinomialInterval wilson_interval(std::uint64_t k, std::uint64_t n, double z) {
   return out;
 }
 
+std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> samples,
+                                      double q) {
+  if (samples.empty()) return 0;
+  q = std::clamp(q, 0.0, 100.0);
+  // Nearest rank = ceil(q/100 * n), clamped to [1, n]; rank r is the
+  // (r-1)-th order statistic.
+  const auto n = samples.size();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(n)));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  auto nth = samples.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(samples.begin(), nth, samples.end());
+  return *nth;
+}
+
 }  // namespace qec

@@ -64,4 +64,11 @@ struct BinomialInterval {
 BinomialInterval wilson_interval(std::uint64_t k, std::uint64_t n,
                                  double z = 1.96);
 
+/// Nearest-rank percentile: the smallest sample such that at least q% of
+/// the samples are <= it (q in [0, 100]; q = 50 is the median). Returns 0
+/// for an empty sample set. Exact — the streaming-telemetry p50/p95/p99
+/// are real observed latencies, never interpolated values.
+std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> samples,
+                                      double q);
+
 }  // namespace qec

@@ -170,6 +170,24 @@ std::function<std::unique_ptr<Decoder>()> decoder_maker(
   return [spec = std::string(spec)] { return make_decoder(spec); };
 }
 
+QecoolConfig online_engine_config(std::string_view spec) {
+  const auto colon = spec.find(':');
+  const std::string_view name = spec.substr(0, colon);
+  if (name != "qecool") {
+    bad_spec("online engine spec must name 'qecool', got '" +
+             std::string(name) + "'");
+  }
+  const DecoderOptions options = DecoderOptions::parse(
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1));
+  const QecoolConfig config = qecool_config(options);
+  if (const auto leftover = options.unconsumed(); !leftover.empty()) {
+    bad_spec("online engine 'qecool' does not understand '" +
+             leftover.front() + "'");
+  }
+  return config;
+}
+
 std::vector<std::string> registered_decoders() {
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mutex);

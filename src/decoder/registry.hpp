@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "decoder/decoder.hpp"
+#include "qecool/config.hpp"
 
 namespace qec {
 
@@ -63,5 +64,12 @@ std::function<std::unique_ptr<Decoder>()> decoder_maker(std::string_view spec);
 
 /// Sorted names of all registered decoders (built-ins plus extensions).
 std::vector<std::string> registered_decoders();
+
+/// Parses a spec into the engine configuration of an *on-line capable*
+/// decoder — what the streaming decode service (src/stream) builds one lane
+/// engine from. Only "qecool" (the paper's hardware) supports incremental
+/// per-round stepping, so any other name throws std::invalid_argument, as
+/// do unknown options ("qecool:reg_depth=4,thv=3" is the typical shape).
+QecoolConfig online_engine_config(std::string_view spec);
 
 }  // namespace qec

@@ -41,6 +41,20 @@ std::vector<BitVec> difference_syndromes(const std::vector<BitVec>& measured) {
   return diff;
 }
 
+std::vector<BitVec> accumulate_differences(
+    const std::vector<BitVec>& difference) {
+  std::vector<BitVec> measured;
+  measured.reserve(difference.size());
+  for (std::size_t t = 0; t < difference.size(); ++t) {
+    if (t == 0) {
+      measured.push_back(difference[0]);
+    } else {
+      measured.push_back(xor_of(difference[t], measured[t - 1]));
+    }
+  }
+  return measured;
+}
+
 int defect_count(const SyndromeHistory& history) {
   int count = 0;
   for (const auto& layer : history.difference) count += weight(layer);

@@ -52,6 +52,13 @@ SyndromeHistory sample_history(const PlanarLattice& lattice,
 /// for tests and for decoders fed with externally generated data).
 std::vector<BitVec> difference_syndromes(const std::vector<BitVec>& measured);
 
+/// Inverse of difference_syndromes: rebuilds the measured-syndrome sequence
+/// as the running XOR of the difference layers. Syndrome traces (see
+/// src/stream/trace.hpp) persist only differences — this is how a replayed
+/// lane recovers a full SyndromeHistory for scoring.
+std::vector<BitVec> accumulate_differences(
+    const std::vector<BitVec>& difference);
+
 /// Total number of defects (set difference-syndrome bits) in a history.
 int defect_count(const SyndromeHistory& history);
 

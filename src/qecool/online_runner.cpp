@@ -2,42 +2,60 @@
 
 namespace qec {
 
+OnlineStepper::OnlineStepper(const PlanarLattice& lattice,
+                             const OnlineConfig& config)
+    : engine_(lattice, config.engine),
+      clean_(static_cast<std::size_t>(lattice.num_checks()), 0),
+      per_round_(config.cycles_per_round) {}
+
+bool OnlineStepper::step(const BitVec& layer) {
+  if (overflow_) return false;
+  if (!engine_.push_layer(layer)) {
+    overflow_ = true;
+    return false;
+  }
+  ++rounds_;
+  if (per_round_ <= 0.0) {
+    engine_.run(QecoolEngine::kUnlimited);
+    return true;
+  }
+  // Accumulate the fractional budget: a 1.5-cycle clock grants 1, 2, 1, 2,
+  // ... cycles rather than truncating to 1 every round. Cycles the engine
+  // leaves unused because it went idle are NOT carried — the hardware clock
+  // ticks on regardless.
+  carry_ += per_round_;
+  const auto budget = static_cast<std::uint64_t>(carry_);
+  carry_ -= static_cast<double>(budget);
+  engine_.run(budget);
+  return true;
+}
+
+OnlineResult OnlineStepper::result() const {
+  OnlineResult r;
+  r.overflow = overflow_;
+  r.drained = !overflow_ && engine_.all_clear();
+  r.correction = engine_.correction();
+  r.matches = engine_.match_stats();
+  r.layer_cycles = engine_.layer_cycles();
+  r.total_cycles = engine_.total_cycles();
+  return r;
+}
+
 OnlineResult run_online(const PlanarLattice& lattice,
                         const SyndromeHistory& history,
                         const OnlineConfig& config) {
-  QecoolEngine engine(lattice, config.engine);
-  const std::uint64_t budget = config.cycles_per_round == 0
-                                   ? QecoolEngine::kUnlimited
-                                   : config.cycles_per_round;
-  OnlineResult result;
-
-  auto step = [&](const BitVec& layer) {
-    if (!engine.push_layer(layer)) {
-      result.overflow = true;
-      return false;
-    }
-    engine.run(budget);
-    return true;
-  };
-
+  OnlineStepper stepper(lattice, config);
   for (const auto& layer : history.difference) {
-    if (!step(layer)) break;
+    if (!stepper.step(layer)) break;
   }
-  if (!result.overflow) {
+  if (!stepper.overflowed()) {
     // Keep the QEC cycle running on clean layers until the queues drain.
-    const BitVec clean(static_cast<std::size_t>(lattice.num_checks()), 0);
     for (int extra = 0; extra < config.max_drain_rounds; ++extra) {
-      if (engine.all_clear() && engine.stored_layers() == 0) break;
-      if (!step(clean)) break;
+      if (stepper.drained()) break;
+      if (!stepper.step_clean()) break;
     }
   }
-
-  result.drained = !result.overflow && engine.all_clear();
-  result.correction = engine.correction();
-  result.matches = engine.match_stats();
-  result.layer_cycles = engine.layer_cycles();
-  result.total_cycles = engine.total_cycles();
-  return result;
+  return stepper.result();
 }
 
 }  // namespace qec

@@ -18,9 +18,12 @@ struct OnlineConfig {
   QecoolConfig engine;  ///< thv = 3, reg_depth = 7 by default (the paper's).
 
   /// Decoder cycles available between consecutive measurement layers:
-  /// frequency [Hz] * measurement interval [s]. 0 means unconstrained
-  /// (used for Table III cycle statistics).
-  std::uint64_t cycles_per_round = 0;
+  /// frequency [Hz] * measurement interval [s]. Fractional budgets (a
+  /// 1.5 MHz clock grants 1.5 cycles per 1 us round) accumulate across
+  /// rounds instead of truncating, so sub-cycle clocks are modelled
+  /// honestly. <= 0 means unconstrained (used for Table III cycle
+  /// statistics).
+  double cycles_per_round = 0.0;
 
   /// After the last real layer the experiment keeps pushing clean layers
   /// (QEC never stops in hardware) until the queues drain; bail out after
@@ -29,9 +32,10 @@ struct OnlineConfig {
 };
 
 /// Convenience: cycles available per 1 us measurement interval at `hz`.
-constexpr std::uint64_t cycles_per_microsecond(double hz) {
-  return static_cast<std::uint64_t>(hz * 1e-6);
-}
+/// Returns the exact (possibly fractional) budget; OnlineStepper carries
+/// the fractional remainder across rounds, so e.g. 500 kHz grants one
+/// cycle every second round instead of truncating to "unconstrained".
+constexpr double cycles_per_microsecond(double hz) { return hz * 1e-6; }
 
 struct OnlineResult {
   bool overflow = false;  ///< Reg overflow — the trial counts as a failure.
@@ -44,6 +48,49 @@ struct OnlineResult {
 
   /// A trial is successful only if the decoder kept up and drained.
   bool failed_operationally() const { return overflow || !drained; }
+};
+
+/// Incremental per-round driver of one on-line engine: push a layer, spend
+/// the round's cycle budget, repeat. run_online() is a loop over this; the
+/// streaming decode service (src/stream) holds one stepper per lane and
+/// advances them round-by-round so many logical qubits progress together.
+class OnlineStepper {
+ public:
+  OnlineStepper(const PlanarLattice& lattice, const OnlineConfig& config);
+
+  /// Pushes one difference layer, then runs the engine for this round's
+  /// cycle budget (the integer part of the accumulated fractional budget).
+  /// Returns false when the Reg queues overflow — a terminal state; later
+  /// calls are no-ops returning false.
+  bool step(const BitVec& layer);
+
+  /// Streams an all-zero layer (the drain phase after the last real round).
+  bool step_clean() { return step(clean_); }
+
+  bool overflowed() const { return overflow_; }
+
+  /// True when the engine consumed everything: every Reg bit clear and no
+  /// stored layers left to pop.
+  bool drained() const {
+    return !overflow_ && engine_.all_clear() && engine_.stored_layers() == 0;
+  }
+
+  /// Rounds the engine accepted so far (real + clean; a layer rejected at
+  /// overflow does not count — it was dropped).
+  int rounds_stepped() const { return rounds_; }
+
+  const QecoolEngine& engine() const { return engine_; }
+
+  /// Snapshot of the outcome so far, in run_online()'s result shape.
+  OnlineResult result() const;
+
+ private:
+  QecoolEngine engine_;
+  BitVec clean_;
+  double per_round_ = 0.0;  ///< <= 0: unconstrained.
+  double carry_ = 0.0;      ///< fractional budget carried across rounds.
+  bool overflow_ = false;
+  int rounds_ = 0;
 };
 
 /// Streams `history` through an on-line engine and returns the outcome.

@@ -1,0 +1,170 @@
+#include "stream/service.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "decoder/registry.hpp"
+#include "qecool/online_runner.hpp"
+#include "sim/executor.hpp"
+#include "surface_code/planar_lattice.hpp"
+
+namespace qec {
+namespace {
+
+/// Lane k's noise stream: the seed mixed with the lane index and every
+/// structural parameter through SplitMix64 avalanches (the experiment_rng
+/// recipe), so streams are independent per lane and stable under changes
+/// to lane count, thread count, or scheduling.
+Xoshiro256ss lane_rng(const StreamConfig& config, int lane, int rounds) {
+  std::uint64_t state = config.seed;
+  const auto feed = [&state](std::uint64_t value) {
+    state ^= value;
+    state = splitmix64(state);
+  };
+  feed(static_cast<std::uint64_t>(lane));
+  feed(static_cast<std::uint64_t>(config.distance));
+  feed(static_cast<std::uint64_t>(rounds));
+  feed(std::bit_cast<std::uint64_t>(config.p));
+  return Xoshiro256ss(state);
+}
+
+struct Lane {
+  Lane(const PlanarLattice& lattice, const OnlineConfig& online, int id,
+       int depth_bins)
+      : stepper(lattice, online) {
+    telemetry.lane = id;
+    telemetry.depth_hist.assign(static_cast<std::size_t>(depth_bins), 0);
+  }
+
+  void record_depth() {
+    const auto depth = static_cast<std::size_t>(stepper.engine().stored_layers());
+    if (depth < telemetry.depth_hist.size()) ++telemetry.depth_hist[depth];
+  }
+
+  bool finished() const { return stepper.overflowed() || stepper.drained(); }
+
+  OnlineStepper stepper;
+  LaneTelemetry telemetry;
+};
+
+}  // namespace
+
+SyndromeTrace record_trace(const StreamConfig& config) {
+  if (config.lanes < 1) throw std::invalid_argument("stream: lanes must be >= 1");
+  const int noisy_rounds = config.rounds > 0 ? config.rounds : config.distance;
+  const PlanarLattice lattice(config.distance);
+
+  TraceHeader header;
+  header.distance = static_cast<std::uint32_t>(config.distance);
+  header.lanes = static_cast<std::uint32_t>(config.lanes);
+  // Stored rounds include the final perfect round sample_history appends.
+  header.rounds = static_cast<std::uint32_t>(noisy_rounds + 1);
+  header.checks = static_cast<std::uint32_t>(lattice.num_checks());
+  header.data_qubits = static_cast<std::uint32_t>(lattice.num_data());
+  header.seed = config.seed;
+  header.p_data = config.p;
+  header.p_meas = config.p;
+
+  SyndromeTrace trace(header);
+  parallel_for(config.lanes, config.threads, [&](int lane) {
+    Xoshiro256ss rng = lane_rng(config, lane, noisy_rounds);
+    const auto history =
+        sample_history(lattice, {config.p, config.p, noisy_rounds}, rng);
+    trace.set_lane(lane, history);  // disjoint slots: no cross-lane writes
+  });
+  return trace;
+}
+
+StreamOutcome run_stream(const SyndromeTrace& trace,
+                         const StreamConfig& config) {
+  const int n = trace.lanes();
+  if (n < 1) throw std::invalid_argument("stream: trace has no lanes");
+  // Resolve the engine spec before any lane (or thread) exists so a typo
+  // fails loudly up front.
+  const QecoolConfig engine_config = online_engine_config(config.engine);
+  OnlineConfig online;
+  online.engine = engine_config;
+  online.cycles_per_round = config.cycles_per_round;
+  online.max_drain_rounds = config.max_drain_rounds;
+
+  const PlanarLattice lattice(static_cast<int>(trace.header().distance));
+  std::vector<Lane> lanes;
+  lanes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    lanes.emplace_back(lattice, online, i, engine_config.reg_depth + 1);
+  }
+
+  // Phase 1 — streaming: round t reaches every live lane before any lane
+  // sees round t+1, mirroring syndrome arrival in hardware. Lanes are
+  // fully independent, so the parallel_for writes only lane-local state.
+  for (int t = 0; t < trace.rounds(); ++t) {
+    parallel_for(n, config.threads, [&](int i) {
+      Lane& lane = lanes[static_cast<std::size_t>(i)];
+      if (lane.stepper.overflowed()) return;
+      if (lane.stepper.step(trace.layer(i, t))) {
+        ++lane.telemetry.rounds_streamed;
+      }
+      lane.record_depth();
+    });
+  }
+
+  // Phase 2 — drain: clean layers until every lane overflowed or drained,
+  // bounded by max_drain_rounds (QEC never stops in hardware).
+  for (int extra = 0; extra < config.max_drain_rounds; ++extra) {
+    bool any_active = false;
+    for (const auto& lane : lanes) any_active |= !lane.finished();
+    if (!any_active) break;
+    parallel_for(n, config.threads, [&](int i) {
+      Lane& lane = lanes[static_cast<std::size_t>(i)];
+      if (lane.finished()) return;
+      if (lane.stepper.step_clean()) ++lane.telemetry.drain_rounds;
+      lane.record_depth();
+    });
+  }
+
+  // Finalize each lane (the logical scoring decodes nothing, but keep it
+  // in the parallel region: it is per-lane work too).
+  parallel_for(n, config.threads, [&](int i) {
+    Lane& lane = lanes[static_cast<std::size_t>(i)];
+    const OnlineResult result = lane.stepper.result();
+    LaneTelemetry& t = lane.telemetry;
+    t.overflow = result.overflow;
+    t.drained = result.drained;
+    t.popped_layers = static_cast<int>(result.layer_cycles.size());
+    t.total_cycles = result.total_cycles;
+    t.layer_cycles = result.layer_cycles;
+    t.matches = result.matches;
+    if (!result.failed_operationally()) {
+      SyndromeHistory truth;
+      truth.final_error = trace.final_error(i);
+      DecodeResult decode;
+      decode.correction = result.correction;
+      t.logical_failure = logical_failure(lattice, truth, decode);
+    }
+  });
+
+  StreamOutcome outcome;
+  outcome.lanes = n;
+  outcome.telemetry.distance = static_cast<int>(trace.header().distance);
+  outcome.telemetry.p = trace.header().p_data;
+  outcome.telemetry.cycles_per_round = config.cycles_per_round;
+  outcome.telemetry.seed = trace.header().seed;
+  outcome.telemetry.engine = config.engine;
+  outcome.telemetry.lanes.reserve(static_cast<std::size_t>(n));
+  for (auto& lane : lanes) {
+    outcome.telemetry.lanes.push_back(std::move(lane.telemetry));
+  }
+  outcome.overflow_lanes = outcome.telemetry.overflow_lanes();
+  outcome.drained_lanes = outcome.telemetry.drained_lanes();
+  outcome.failed_lanes = outcome.telemetry.failed_lanes();
+  for (const auto& lane : outcome.telemetry.lanes) {
+    outcome.logical_failures += lane.logical_failure ? 1 : 0;
+  }
+  return outcome;
+}
+
+StreamOutcome run_stream(const StreamConfig& config) {
+  return run_stream(record_trace(config), config);
+}
+
+}  // namespace qec

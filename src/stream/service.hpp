@@ -1,0 +1,70 @@
+// Streaming decode service: drives many logical-qubit lanes through
+// on-line QECOOL engines concurrently — the fleet-scale version of the
+// single-trial run_online() loop, modelling a processor's worth of
+// syndrome streams arriving every measurement interval (the ~2,500-patch
+// question src/sfq/fabric.hpp asks, answered in the time domain).
+//
+// Determinism contract: every lane is an independent (engine, telemetry)
+// pair; the scheduler advances all live lanes round-by-round over the
+// PR-1 thread-pool executor and reduces results on the calling thread in
+// lane order. The outcome — including the telemetry CSV, byte for byte —
+// is a pure function of (trace, StreamConfig minus threads); --threads
+// only changes wall-clock. See DESIGN.md section 7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stream/telemetry.hpp"
+#include "stream/trace.hpp"
+
+namespace qec {
+
+struct StreamConfig {
+  int lanes = 8;        ///< concurrent logical-qubit streams
+  int distance = 5;
+  double p = 0.01;      ///< p_data = p_meas (the paper's setting)
+  int rounds = 0;       ///< noisy rounds per lane; <= 0 means `distance`
+  std::uint64_t seed = 2021;
+
+  /// Lane engine spec, resolved via online_engine_config() — e.g.
+  /// "qecool" or "qecool:reg_depth=4,thv=3".
+  std::string engine = "qecool";
+
+  /// Decoder cycles granted per measurement interval (fractional budgets
+  /// accumulate; <= 0 = unconstrained). See cycles_per_microsecond().
+  double cycles_per_round = 0.0;
+
+  /// Clean rounds pushed after the trace ends before giving up on a lane.
+  int max_drain_rounds = 1000;
+
+  /// Worker threads (<= 0: all hardware threads). Never changes results.
+  int threads = 1;
+};
+
+struct StreamOutcome {
+  StreamTelemetry telemetry;
+  int lanes = 0;
+  int overflow_lanes = 0;
+  int drained_lanes = 0;
+  int logical_failures = 0;  ///< among operationally successful lanes
+  int failed_lanes = 0;      ///< overflow + undrained + logical
+};
+
+/// Samples one memory-experiment history per lane (independent per-lane
+/// RNG streams derived from config.seed — lane k's stream never depends on
+/// lane count or thread count) and packs them into a trace. This is the
+/// "record" half: the returned trace fully determines any later run.
+SyndromeTrace record_trace(const StreamConfig& config);
+
+/// The "replay" half: streams every lane of `trace` through its own
+/// online engine, round-by-round in lane order. Noise parameters come
+/// from the trace; service parameters (engine spec, cycle budget, drain
+/// bound, threads) from `config`.
+StreamOutcome run_stream(const SyndromeTrace& trace,
+                         const StreamConfig& config);
+
+/// record_trace + run_stream in one call (fresh-noise convenience).
+StreamOutcome run_stream(const StreamConfig& config);
+
+}  // namespace qec

@@ -1,0 +1,152 @@
+#include "stream/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/csv.hpp"
+
+namespace qec {
+namespace {
+
+std::string fmt_double(double value, const char* spec = "%.6g") {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), spec, value);
+  return buffer;
+}
+
+}  // namespace
+
+double LaneTelemetry::mean_depth() const {
+  std::uint64_t rounds = 0, weighted = 0;
+  for (std::size_t k = 0; k < depth_hist.size(); ++k) {
+    rounds += depth_hist[k];
+    weighted += depth_hist[k] * k;
+  }
+  return rounds ? static_cast<double>(weighted) / static_cast<double>(rounds)
+                : 0.0;
+}
+
+int LaneTelemetry::max_depth() const {
+  for (std::size_t k = depth_hist.size(); k-- > 0;) {
+    if (depth_hist[k]) return static_cast<int>(k);
+  }
+  return 0;
+}
+
+void LaneTelemetry::merge(const LaneTelemetry& other) {
+  overflow |= other.overflow;
+  drained &= other.drained;
+  logical_failure |= other.logical_failure;
+  rounds_streamed += other.rounds_streamed;
+  drain_rounds += other.drain_rounds;
+  popped_layers += other.popped_layers;
+  total_cycles += other.total_cycles;
+  if (depth_hist.size() < other.depth_hist.size()) {
+    depth_hist.resize(other.depth_hist.size(), 0);
+  }
+  for (std::size_t k = 0; k < other.depth_hist.size(); ++k) {
+    depth_hist[k] += other.depth_hist[k];
+  }
+  layer_cycles.insert(layer_cycles.end(), other.layer_cycles.begin(),
+                      other.layer_cycles.end());
+  matches.merge(other.matches);
+}
+
+LaneTelemetry StreamTelemetry::aggregate() const {
+  LaneTelemetry all;
+  all.lane = -1;
+  all.drained = !lanes.empty();
+  for (const auto& lane : lanes) all.merge(lane);
+  return all;
+}
+
+int StreamTelemetry::overflow_lanes() const {
+  return static_cast<int>(std::count_if(
+      lanes.begin(), lanes.end(), [](const auto& l) { return l.overflow; }));
+}
+
+int StreamTelemetry::drained_lanes() const {
+  return static_cast<int>(std::count_if(
+      lanes.begin(), lanes.end(), [](const auto& l) { return l.drained; }));
+}
+
+int StreamTelemetry::failed_lanes() const {
+  return static_cast<int>(std::count_if(
+      lanes.begin(), lanes.end(), [](const auto& l) { return l.failed(); }));
+}
+
+bool StreamTelemetry::write_csv(const std::string& path) const {
+  std::size_t depth_bins = 0;
+  for (const auto& lane : lanes) {
+    depth_bins = std::max(depth_bins, lane.depth_hist.size());
+  }
+
+  std::vector<std::string> header = {
+      "lane",         "distance",     "p",
+      "engine",       "budget",       "overflow",
+      "drained",      "logical_fail", "rounds",
+      "drain_rounds", "popped",       "total_cycles",
+      "cyc_p50",      "cyc_p95",      "cyc_p99",
+      "cyc_max",      "depth_mean",   "depth_max"};
+  for (std::size_t k = 0; k < depth_bins; ++k) {
+    header.push_back("depth_" + std::to_string(k));
+  }
+  CsvWriter csv(path, header);
+  if (!csv.ok()) return false;
+
+  const auto emit = [&](const LaneTelemetry& t, const std::string& label,
+                        std::uint64_t overflow_count,
+                        std::uint64_t drained_count,
+                        std::uint64_t logical_count) {
+    // One sorted copy serves all three percentile columns and the max.
+    std::vector<std::uint64_t> sorted = t.layer_cycles;
+    std::sort(sorted.begin(), sorted.end());
+    const auto pct = [&sorted](double q) -> std::uint64_t {
+      if (sorted.empty()) return 0;
+      auto rank = static_cast<std::size_t>(
+          std::ceil(q / 100.0 * static_cast<double>(sorted.size())));
+      rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+      return sorted[rank - 1];
+    };
+    const std::uint64_t cyc_max = sorted.empty() ? 0 : sorted.back();
+    std::vector<std::string> row = {
+        label,
+        std::to_string(distance),
+        fmt_double(p),
+        engine,
+        fmt_double(cycles_per_round),
+        std::to_string(overflow_count),
+        std::to_string(drained_count),
+        std::to_string(logical_count),
+        std::to_string(t.rounds_streamed),
+        std::to_string(t.drain_rounds),
+        std::to_string(t.popped_layers),
+        std::to_string(t.total_cycles),
+        std::to_string(pct(50)),
+        std::to_string(pct(95)),
+        std::to_string(pct(99)),
+        std::to_string(cyc_max),
+        fmt_double(t.mean_depth(), "%.4f"),
+        std::to_string(t.max_depth())};
+    for (std::size_t k = 0; k < depth_bins; ++k) {
+      row.push_back(std::to_string(
+          k < t.depth_hist.size() ? t.depth_hist[k] : std::uint64_t{0}));
+    }
+    csv.add_row(row);
+  };
+
+  for (const auto& lane : lanes) {
+    emit(lane, std::to_string(lane.lane), lane.overflow ? 1 : 0,
+         lane.drained ? 1 : 0, lane.logical_failure ? 1 : 0);
+  }
+  emit(aggregate(), "all", static_cast<std::uint64_t>(overflow_lanes()),
+       static_cast<std::uint64_t>(drained_lanes()),
+       static_cast<std::uint64_t>(std::count_if(
+           lanes.begin(), lanes.end(),
+           [](const auto& l) { return l.logical_failure; })));
+  csv.flush();
+  return true;
+}
+
+}  // namespace qec

@@ -1,0 +1,85 @@
+// Telemetry of the streaming decode service: per-lane and aggregate
+// queue-depth histograms, per-layer decode-cycle latency percentiles, and
+// overflow/drain counters, emitted as CSV via common/csv.
+//
+// Definitions (also in DESIGN.md section 7):
+//  - queue depth    stored Reg layers observed after each streamed round
+//                   (including drain rounds); bin k counts rounds that
+//                   ended with k layers resident, k in [0, reg_depth].
+//  - layer latency  working cycles the engine attributed to each popped
+//                   layer (QecoolEngine::layer_cycles()); p50/p95/p99 are
+//                   exact nearest-rank percentiles over those samples.
+//  - overflow       the lane pushed a layer into a full Reg queue; the
+//                   lane stops immediately (terminal, as in Fig 7).
+//  - drained        every Reg bit clear and no stored layers by run end.
+//
+// Everything here is assembled on the calling thread in lane order, so the
+// CSV is byte-identical for any --threads value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace qec {
+
+struct LaneTelemetry {
+  int lane = 0;
+  bool overflow = false;
+  bool drained = false;
+  /// Logical scoring (only meaningful when the lane did not fail
+  /// operationally; false otherwise, matching run_online_experiment).
+  bool logical_failure = false;
+
+  int rounds_streamed = 0;  ///< trace rounds pushed (stops at overflow)
+  int drain_rounds = 0;     ///< extra clean rounds pushed
+  int popped_layers = 0;
+  std::uint64_t total_cycles = 0;
+
+  /// depth_hist[k] = rounds that ended with k stored layers.
+  std::vector<std::uint64_t> depth_hist;
+  /// Per-popped-layer working cycles (the latency percentile samples).
+  std::vector<std::uint64_t> layer_cycles;
+  MatchStats matches;
+
+  /// A lane fails when it overflowed, failed to drain, or drained to a
+  /// logically wrong correction.
+  bool failed() const { return overflow || !drained || logical_failure; }
+
+  double mean_depth() const;
+  int max_depth() const;
+  std::uint64_t cycle_percentile(double q) const {
+    return percentile_nearest_rank(layer_cycles, q);
+  }
+
+  /// Folds another lane in (the aggregate row).
+  void merge(const LaneTelemetry& other);
+};
+
+struct StreamTelemetry {
+  // Run context, echoed into every CSV row.
+  int distance = 0;
+  double p = 0.0;
+  double cycles_per_round = 0.0;
+  std::uint64_t seed = 0;
+  std::string engine = "qecool";
+
+  std::vector<LaneTelemetry> lanes;
+
+  /// All lanes merged, in lane order; counters sum, percentiles recompute
+  /// over the pooled samples.
+  LaneTelemetry aggregate() const;
+
+  int overflow_lanes() const;
+  int drained_lanes() const;
+  int failed_lanes() const;
+
+  /// One row per lane plus a final "all" aggregate row, where the
+  /// overflow/drained/logical_failure columns hold lane *counts*. Returns
+  /// false when the file could not be opened.
+  bool write_csv(const std::string& path) const;
+};
+
+}  // namespace qec

@@ -67,9 +67,149 @@ TEST(OnlineRunner, HigherFrequencyNeverHurtsDrainage) {
 }
 
 TEST(OnlineRunner, CyclesPerMicrosecondHelper) {
-  EXPECT_EQ(cycles_per_microsecond(2e9), 2000u);
-  EXPECT_EQ(cycles_per_microsecond(1e9), 1000u);
-  EXPECT_EQ(cycles_per_microsecond(500e6), 500u);
+  EXPECT_DOUBLE_EQ(cycles_per_microsecond(2e9), 2000.0);
+  EXPECT_DOUBLE_EQ(cycles_per_microsecond(1e9), 1000.0);
+  EXPECT_DOUBLE_EQ(cycles_per_microsecond(500e6), 500.0);
+  // Sub-MHz clocks no longer truncate to 0 ("unconstrained"); fractional
+  // budgets survive and accumulate across rounds in OnlineStepper.
+  EXPECT_NEAR(cycles_per_microsecond(1.5e6), 1.5, 1e-12);
+  EXPECT_NEAR(cycles_per_microsecond(500e3), 0.5, 1e-12);
+  EXPECT_GT(cycles_per_microsecond(1.0), 0.0);
+}
+
+TEST(OnlineRunner, FractionalBudgetAccumulatesAcrossRounds) {
+  // At 1.5 cycles/round the engine must receive 1, 2, 1, 2, ... cycles —
+  // 2k rounds of clean input grant exactly 3k cycles of work capacity. A
+  // clean history never makes work, so instead compare against the integer
+  // envelope: a 0.5-cycle budget must behave strictly worse than 1
+  // cycle/round and no better than it, and must NOT behave as unconstrained.
+  const PlanarLattice lat(9);
+  Xoshiro256ss rng(11);
+  OnlineConfig half, one, unconstrained;
+  half.cycles_per_round = 0.5;
+  one.cycles_per_round = 1.0;
+  int half_fail = 0, one_fail = 0, free_fail = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto h = sample_history(lat, {0.01, 0.01, 9}, rng);
+    half_fail += run_online(lat, h, half).failed_operationally();
+    one_fail += run_online(lat, h, one).failed_operationally();
+    free_fail += run_online(lat, h, unconstrained).failed_operationally();
+  }
+  EXPECT_EQ(free_fail, 0);
+  EXPECT_GE(half_fail, one_fail);
+  EXPECT_GT(half_fail, 0) << "0.5 cycles/round must not mean unconstrained";
+}
+
+TEST(OnlineRunner, IntegerBudgetMatchesLegacyPerRoundGrant) {
+  // With an integral budget the fractional carry stays zero, so the new
+  // stepper must reproduce the old fixed-grant behaviour exactly.
+  const PlanarLattice lat(7);
+  Xoshiro256ss rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto h = sample_history(lat, {0.02, 0.02, 7}, rng);
+    OnlineConfig config;
+    config.cycles_per_round = 300;
+    const auto via_runner = run_online(lat, h, config);
+
+    QecoolEngine engine(lat, config.engine);
+    bool overflow = false;
+    for (const auto& layer : h.difference) {
+      if (!engine.push_layer(layer)) {
+        overflow = true;
+        break;
+      }
+      engine.run(300);
+    }
+    const BitVec clean(static_cast<std::size_t>(lat.num_checks()), 0);
+    for (int extra = 0; !overflow && extra < config.max_drain_rounds;
+         ++extra) {
+      if (engine.all_clear() && engine.stored_layers() == 0) break;
+      if (!engine.push_layer(clean)) {
+        overflow = true;
+        break;
+      }
+      engine.run(300);
+    }
+    ASSERT_EQ(via_runner.overflow, overflow);
+    if (!overflow) {
+      ASSERT_EQ(via_runner.correction, engine.correction());
+      ASSERT_EQ(via_runner.total_cycles, engine.total_cycles());
+    }
+  }
+}
+
+TEST(OnlineRunner, StepperMatchesRunOnline) {
+  const PlanarLattice lat(7);
+  Xoshiro256ss rng(13);
+  OnlineConfig config;
+  config.cycles_per_round = 150.25;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto h = sample_history(lat, {0.015, 0.015, 7}, rng);
+    const auto direct = run_online(lat, h, config);
+
+    OnlineStepper stepper(lat, config);
+    for (const auto& layer : h.difference) {
+      if (!stepper.step(layer)) break;
+    }
+    for (int extra = 0;
+         !stepper.overflowed() && extra < config.max_drain_rounds; ++extra) {
+      if (stepper.drained()) break;
+      stepper.step_clean();
+    }
+    const auto stepped = stepper.result();
+    ASSERT_EQ(direct.overflow, stepped.overflow);
+    ASSERT_EQ(direct.drained, stepped.drained);
+    ASSERT_EQ(direct.correction, stepped.correction);
+    ASSERT_EQ(direct.total_cycles, stepped.total_cycles);
+    ASSERT_EQ(direct.layer_cycles, stepped.layer_cycles);
+  }
+}
+
+TEST(OnlineRunner, MaxDrainRoundsExhaustionReportsUndrained) {
+  // With max_drain_rounds = 0 the thv gate guarantees failure whenever the
+  // last layers carry defects (a base layer is decoded only once m - b >
+  // thv, and without drain pushes m never grows): the run must end
+  // undrained — flagged by failed_operationally() — yet never overflow,
+  // while the same histories drain fine with the default drain budget.
+  const PlanarLattice lat(9);
+  Xoshiro256ss rng(14);
+  int undrained = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto h = sample_history(lat, {0.02, 0.02, 9}, rng);
+    OnlineConfig no_drain;  // unconstrained clock
+    no_drain.max_drain_rounds = 0;
+    const auto r = run_online(lat, h, no_drain);
+    EXPECT_FALSE(r.overflow);
+    if (!r.drained) {
+      ++undrained;
+      EXPECT_TRUE(r.failed_operationally());
+    }
+    OnlineConfig with_drain;
+    const auto full = run_online(lat, h, with_drain);
+    EXPECT_TRUE(full.drained);
+  }
+  EXPECT_GT(undrained, 5) << "expected drain-budget exhaustion at p=0.02";
+}
+
+TEST(OnlineRunner, ZeroDefectHistoryDrainsWithoutMatches) {
+  // A defect-free history must drain cleanly: no overflow, no matches, no
+  // correction. (Clean layers still cost row-skip/pop cycles — the QEC
+  // cycle never stops — so the budget must cover the pop cadence.)
+  const PlanarLattice lat(7);
+  SyndromeHistory h;
+  const BitVec clean(static_cast<std::size_t>(lat.num_checks()), 0);
+  h.measured.assign(8, clean);
+  h.difference = difference_syndromes(h.measured);
+  h.final_error.assign(static_cast<std::size_t>(lat.num_data()), 0);
+
+  OnlineConfig config;
+  config.cycles_per_round = 64;
+  const auto r = run_online(lat, h, config);
+  EXPECT_FALSE(r.overflow);
+  EXPECT_TRUE(r.drained);
+  EXPECT_TRUE(is_zero(r.correction));
+  EXPECT_EQ(r.matches.total(), 0u);
+  EXPECT_EQ(static_cast<int>(r.layer_cycles.size()), 8);
 }
 
 TEST(OnlineRunner, MatchStatsAccumulate) {

@@ -1,0 +1,191 @@
+// Tests for the versioned binary syndrome trace: round-trips, lane
+// reconstruction, and the hard requirement that corrupt or truncated files
+// throw TraceError instead of producing garbage.
+#include "stream/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "stream/service.hpp"
+#include "surface_code/planar_lattice.hpp"
+
+namespace qec {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<char> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_all(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+StreamConfig small_config() {
+  StreamConfig config;
+  config.lanes = 4;
+  config.distance = 5;
+  config.p = 0.03;
+  config.rounds = 6;
+  config.seed = 99;
+  return config;
+}
+
+TEST(StreamTrace, PackUnpackRoundTrip) {
+  BitVec bits = {1, 0, 0, 1, 1, 1, 0, 1, 0, 1, 1};
+  const auto packed = pack_bits(bits);
+  EXPECT_EQ(packed.size(), 2u);  // 11 bits -> 2 bytes
+  EXPECT_EQ(unpack_bits(packed.data(), bits.size()), bits);
+}
+
+TEST(StreamTrace, SaveLoadRoundTrip) {
+  const auto trace = record_trace(small_config());
+  const std::string path = temp_path("roundtrip.qtrc");
+  trace.save(path);
+  const auto loaded = SyndromeTrace::load(path);
+  EXPECT_TRUE(trace == loaded);
+  EXPECT_EQ(loaded.lanes(), 4);
+  EXPECT_EQ(loaded.rounds(), 7);  // 6 noisy + 1 perfect
+  EXPECT_EQ(loaded.header().seed, 99u);
+  EXPECT_DOUBLE_EQ(loaded.header().p_data, 0.03);
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, HistoryReconstructionMatchesRecordedNoise) {
+  const StreamConfig config = small_config();
+  const auto trace = record_trace(config);
+  const PlanarLattice lattice(config.distance);
+  for (int lane = 0; lane < trace.lanes(); ++lane) {
+    const SyndromeHistory h = trace.history(lane);
+    ASSERT_EQ(static_cast<int>(h.difference.size()), trace.rounds());
+    ASSERT_EQ(h.measured.size(), h.difference.size());
+    ASSERT_EQ(difference_syndromes(h.measured), h.difference);
+    // The last measured round is perfect, so it must equal the syndrome of
+    // the recorded ground-truth error.
+    ASSERT_EQ(h.measured.back(), lattice.syndrome(h.final_error));
+  }
+}
+
+TEST(StreamTrace, LanesDifferAndAreSeedStable) {
+  const auto a = record_trace(small_config());
+  const auto b = record_trace(small_config());
+  EXPECT_TRUE(a == b) << "recording must be a pure function of the config";
+  StreamConfig other = small_config();
+  other.seed = 100;
+  EXPECT_FALSE(a == record_trace(other));
+  // At p = 0.03 two lanes sharing a stream would be a glaring RNG bug.
+  EXPECT_NE(a.history(0).difference, a.history(1).difference);
+}
+
+TEST(StreamTrace, TruncatedFileThrows) {
+  const auto trace = record_trace(small_config());
+  const std::string path = temp_path("truncated.qtrc");
+  trace.save(path);
+  auto bytes = read_all(path);
+  ASSERT_GT(bytes.size(), 20u);
+  bytes.resize(bytes.size() / 2);
+  write_all(path, bytes);
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  bytes.resize(10);  // shorter than the header
+  write_all(path, bytes);
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, CorruptPayloadThrows) {
+  const auto trace = record_trace(small_config());
+  const std::string path = temp_path("corrupt.qtrc");
+  trace.save(path);
+  auto bytes = read_all(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  write_all(path, bytes);
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, BadMagicAndVersionThrow) {
+  const auto trace = record_trace(small_config());
+  const std::string path = temp_path("magic.qtrc");
+  trace.save(path);
+  auto bytes = read_all(path);
+  auto tampered = bytes;
+  tampered[0] = 'X';
+  write_all(path, tampered);
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  tampered = bytes;
+  tampered[4] = 99;  // unsupported version
+  write_all(path, tampered);
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, InconsistentDimensionsThrow) {
+  const auto trace = record_trace(small_config());
+  const std::string path = temp_path("dims.qtrc");
+  trace.save(path);
+  auto bytes = read_all(path);
+  bytes[8] = 7;  // distance 5 -> 7 without touching checks/data counts
+  write_all(path, bytes);
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, WrappingSizeHeaderThrowsInsteadOfAllocating) {
+  // Adversarial header: at d=5 (3-byte layers, 6-byte final errors) the
+  // payload size 3*lanes*rounds + 6*lanes of these lane/round counts is
+  // ~18.4 EB but wraps modulo 2^64 to exactly 41258 — a file that, with
+  // unchecked size arithmetic, passes the length and checksum tests and
+  // then tries to allocate 6.1e18 layer vectors. The loader must reject it
+  // with TraceError before any allocation.
+  const std::uint32_t lanes = 1431693603u;
+  const std::uint32_t rounds = 4294853784u;
+  const std::size_t wrapped_payload = 41258;
+
+  std::vector<std::uint8_t> blob;
+  const auto put32 = [&blob](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      blob.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  const auto put64 = [&blob](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      blob.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put32(TraceHeader::kMagic);
+  put32(TraceHeader::kVersion);
+  put32(5);   // distance
+  put32(lanes);
+  put32(rounds);
+  put32(20);  // checks = d*(d-1)
+  put32(41);  // data qubits = d*d + (d-1)*(d-1)
+  put64(0);   // seed
+  put64(0);   // p_data (0.0 bits)
+  put64(0);   // p_meas
+  const std::vector<std::uint8_t> payload(wrapped_payload, 0);
+  blob.insert(blob.end(), payload.begin(), payload.end());
+  put64(fnv1a64(payload.data(), payload.size()));
+
+  const std::string path = temp_path("wrap.qtrc");
+  write_all(path, std::vector<char>(blob.begin(), blob.end()));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, MissingFileThrows) {
+  EXPECT_THROW(SyndromeTrace::load(temp_path("does_not_exist.qtrc")),
+               TraceError);
+}
+
+}  // namespace
+}  // namespace qec
