@@ -1,0 +1,183 @@
+// Keep-up frontier of the shared decoder-engine pool: sweep the hardware
+// budget K/N (engines per lane) against the decoder clock for each lane
+// scheduling policy, and chart what fraction of N concurrent streams fail
+// (Reg overflow, failure to drain, or logical error). This is the "how
+// much decode hardware per chip" question the ROADMAP poses: dedicating
+// one QECOOL engine to each of ~2,500 patches is the K == N corner; the
+// sweep shows how far K can shrink before lanes start dying, and how much
+// a backpressure-aware scheduler buys over a fixed rotation.
+//
+//   pool_scaling [--lanes=32] [--d=5] [--p=0.01] [--rounds=128]
+//                [--mhz=10,40,160] [--fractions=0.125,0.25,0.375,0.5,0.75,1]
+//                [--engines=K]            (overrides --fractions with one K)
+//                [--policies=round_robin,least_loaded] [--dispatch=1]
+//                [--seed=2021] [--threads=1] [--drain=1000]
+//                [--csv=pool_scaling.csv]
+//
+// One trace is recorded per run and replayed through every (K, clock,
+// policy) cell, so cells differ only in the service configuration. The CSV
+// has one row per cell: failed-lane fraction, overflow/drain/logical
+// split, pool utilization, Jain fairness, and starved lane-rounds.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "qecool/online_runner.hpp"
+#include "stream/scheduler.hpp"
+#include "stream/service.hpp"
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto comma = text.find(',', start);
+    const auto end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) items.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+std::vector<double> split_doubles(const std::string& text) {
+  std::vector<double> values;
+  for (const auto& item : split_list(text)) {
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(item, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != item.size()) {
+      throw std::invalid_argument("not a number in list: '" + item + "'");
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+std::string fmt(double value, const char* spec = "%.4g") {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), spec, value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qec::CliArgs args(argc, argv);
+  qec::StreamConfig base;
+  base.lanes = static_cast<int>(args.get_int_or("lanes", 32));
+  base.distance = static_cast<int>(args.get_int_or("d", 5));
+  base.p = args.get_double_or("p", 0.01);
+  base.rounds = static_cast<int>(args.get_int_or("rounds", 128));
+  base.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 2021));
+  base.engine = args.get_or("engine", "qecool");
+  base.max_drain_rounds = static_cast<int>(args.get_int_or("drain", 1000));
+  base.rounds_per_dispatch = static_cast<int>(args.get_int_or("dispatch", 1));
+  base.threads = qec::threads_override(args, 1);
+
+  qec::bench::print_header(
+      "Pool scaling: K shared decoder engines serving N lanes",
+      "failed-lane fraction over K/N x clock, per scheduling policy");
+
+  try {
+    const auto clocks_mhz = split_doubles(args.get_or("mhz", "10,40,160"));
+    const auto policies =
+        split_list(args.get_or("policies", "round_robin,least_loaded"));
+
+    // Pool sizes: a single --engines=K, or the K/N fraction grid.
+    std::vector<int> pool_sizes;
+    if (const auto fixed = args.get_int("engines")) {
+      pool_sizes.push_back(static_cast<int>(*fixed));
+    } else {
+      for (const double f : split_doubles(
+               args.get_or("fractions", "0.125,0.25,0.375,0.5,0.75,1"))) {
+        const int k = std::clamp(
+            static_cast<int>(std::lround(f * base.lanes)), 1, base.lanes);
+        if (pool_sizes.empty() || pool_sizes.back() != k) pool_sizes.push_back(k);
+      }
+    }
+
+    // Validate every policy spec before the first (possibly long) cell.
+    for (const auto& policy : policies) qec::make_scheduler_policy(policy);
+
+    const qec::SyndromeTrace trace = qec::record_trace(base);
+    std::printf("trace: %d lanes, d=%d, %d rounds, p=%g, seed %llu\n\n",
+                trace.lanes(), base.distance, trace.rounds(), base.p,
+                static_cast<unsigned long long>(base.seed));
+
+    const std::string csv_path = args.get_or("csv", "");
+    qec::CsvWriter csv(csv_path.empty() ? "/dev/null" : csv_path,
+                       {"policy", "lanes", "engines", "k_over_n", "mhz",
+                        "budget", "overflow_lanes", "undrained_lanes",
+                        "logical_failures", "failed_lanes", "failed_frac",
+                        "utilization", "fairness", "starved_rounds"});
+
+    qec::TextTable table({"policy", "K/N", "mhz", "failed", "overflow",
+                          "fairness", "starved", "util"});
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& policy : policies) {
+      for (const int engines : pool_sizes) {
+        for (const double mhz : clocks_mhz) {
+          qec::StreamConfig config = base;
+          config.policy = policy;
+          config.engines = engines;
+          config.cycles_per_round = qec::cycles_per_microsecond(mhz * 1e6);
+          const qec::StreamOutcome outcome = qec::run_stream(trace, config);
+
+          const auto all = outcome.telemetry.aggregate();
+          const double util = outcome.telemetry.pool_utilization();
+          const double k_over_n =
+              static_cast<double>(engines) / static_cast<double>(outcome.lanes);
+          const double failed_frac = static_cast<double>(outcome.failed_lanes) /
+                                     static_cast<double>(outcome.lanes);
+          const int undrained = static_cast<int>(outcome.telemetry.lanes.size()) -
+                                outcome.drained_lanes - outcome.overflow_lanes;
+          const double fairness = outcome.telemetry.fairness_index();
+
+          if (csv.ok()) {
+            csv.add_row({policy, std::to_string(outcome.lanes),
+                         std::to_string(engines), fmt(k_over_n),
+                         fmt(mhz, "%.6g"), fmt(config.cycles_per_round, "%.6g"),
+                         std::to_string(outcome.overflow_lanes),
+                         std::to_string(undrained),
+                         std::to_string(outcome.logical_failures),
+                         std::to_string(outcome.failed_lanes),
+                         fmt(failed_frac), fmt(util), fmt(fairness),
+                         std::to_string(all.starved_rounds)});
+            csv.flush();
+          }
+          table.add_row({policy, fmt(k_over_n), fmt(mhz, "%.6g"),
+                         std::to_string(outcome.failed_lanes) + "/" +
+                             std::to_string(outcome.lanes),
+                         std::to_string(outcome.overflow_lanes), fmt(fairness),
+                         std::to_string(all.starved_rounds), fmt(util)});
+        }
+      }
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    table.print();
+    std::printf("\nwall-clock %.1f ms (--threads=%d, --dispatch=%d)\n", ms,
+                base.threads, base.rounds_per_dispatch);
+    if (!csv_path.empty()) {
+      std::printf("sweep written to %s\n", csv_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pool_scaling: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,23 +1,32 @@
 // Soak bench for the streaming decode service: many logical-qubit lanes
-// streamed round-by-round through on-line QECOOL engines, with queue-depth
-// and latency telemetry. The fleet-scale version of Fig 7's keep-up
-// question: at a given clock, how many of N concurrent streams survive a
-// long run without Reg overflow?
+// served by a shared pool of K on-line QECOOL engines, with queue-depth,
+// latency, and scheduling telemetry. The fleet-scale version of Fig 7's
+// keep-up question: at a given clock and hardware budget, how many of N
+// concurrent streams survive a long run without Reg overflow?
 //
 //   stream_soak [--lanes=64] [--d=7] [--p=0.01] [--rounds=256] [--mhz=2000]
-//               [--engine=qecool] [--seed=2021] [--threads=1]
-//               [--csv=telemetry.csv] [--trace-out=run.qtrc]
+//               [--engine=qecool] [--engines=0] [--policy=dedicated]
+//               [--dispatch=1] [--seed=2021] [--threads=1]
+//               [--csv=telemetry.csv] [--sched-csv=schedule.csv]
+//               [--timeline-csv=timeline.csv] [--trace-out=run.qtrc]
 //               [--trace-in=run.qtrc] [--drain=1000]
 //
-// With a fixed seed the telemetry CSV is byte-identical for any --threads
-// value, and a run replayed from --trace-in reproduces the recorded run's
+// --engines=K (0 = one per lane) sizes the pool and --policy picks the
+// lane scheduler (dedicated | round_robin | least_loaded). --dispatch=B
+// batches B rounds per parallel_for barrier for static policies — the
+// lane-scaling amortization; outcomes never change, only wall-clock.
+//
+// With a fixed seed every CSV is byte-identical for any --threads value,
+// and a run replayed from --trace-in reproduces the recorded run's
 // per-lane overflow/drain outcomes exactly.
 #include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "decoder/registry.hpp"
 #include "qecool/online_runner.hpp"
+#include "stream/scheduler.hpp"
 #include "stream/service.hpp"
 
 int main(int argc, char** argv) {
@@ -32,13 +41,21 @@ int main(int argc, char** argv) {
   config.cycles_per_round =
       qec::cycles_per_microsecond(args.get_double_or("mhz", 2000.0) * 1e6);
   config.max_drain_rounds = static_cast<int>(args.get_int_or("drain", 1000));
+  config.engines = static_cast<int>(args.get_int_or("engines", 0));
+  config.policy = args.get_or("policy", "dedicated");
+  config.rounds_per_dispatch = static_cast<int>(args.get_int_or("dispatch", 1));
   config.threads = qec::threads_override(args, 1);
 
   qec::bench::print_header(
-      "Stream soak: N concurrent on-line lanes vs one decoder clock",
+      "Stream soak: N concurrent on-line lanes vs a shared decoder pool",
       "Fig 7 scaled out — per-lane overflow/drain under sustained load");
 
   try {
+    // Validate the engine and policy specs before recording a trace, so a
+    // typo costs nothing.
+    qec::online_engine_config(config.engine);
+    qec::make_scheduler_policy(config.policy);
+
     qec::SyndromeTrace trace;
     const std::string trace_in = args.get_or("trace-in", "");
     if (!trace_in.empty()) {
@@ -65,6 +82,11 @@ int main(int argc, char** argv) {
     const auto all = outcome.telemetry.aggregate();
     qec::TextTable table({"metric", "value"});
     table.add_row({"lanes", std::to_string(outcome.lanes)});
+    table.add_row({"pool engines / policy",
+                   std::to_string(outcome.telemetry.engines) + " / " +
+                       config.policy});
+    table.add_row({"rounds / dispatch",
+                   std::to_string(config.rounds_per_dispatch)});
     table.add_row({"rounds streamed / lane", std::to_string(trace.rounds())});
     table.add_row({"budget (cycles/round)",
                    qec::TextTable::fmt(config.cycles_per_round, 2)});
@@ -81,9 +103,13 @@ int main(int argc, char** argv) {
     table.add_row({"queue depth mean / max",
                    qec::TextTable::fmt(all.mean_depth(), 3) + " / " +
                        std::to_string(all.max_depth())});
+    table.add_row({"starved lane-rounds", std::to_string(all.starved_rounds)});
+    table.add_row({"service fairness (Jain)",
+                   qec::TextTable::fmt(outcome.telemetry.fairness_index(), 4)});
     table.add_row({"total working cycles", std::to_string(all.total_cycles)});
     table.print();
-    std::printf("\nwall-clock %.1f ms (--threads=%d)\n", ms, config.threads);
+    std::printf("\nwall-clock %.1f ms (--threads=%d, --dispatch=%d)\n", ms,
+                config.threads, config.rounds_per_dispatch);
 
     const std::string csv = args.get_or("csv", "");
     if (!csv.empty()) {
@@ -92,6 +118,22 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("telemetry written to %s\n", csv.c_str());
+    }
+    const std::string sched_csv = args.get_or("sched-csv", "");
+    if (!sched_csv.empty()) {
+      if (!outcome.telemetry.write_schedule_csv(sched_csv)) {
+        std::fprintf(stderr, "cannot write %s\n", sched_csv.c_str());
+        return 1;
+      }
+      std::printf("schedule report written to %s\n", sched_csv.c_str());
+    }
+    const std::string timeline_csv = args.get_or("timeline-csv", "");
+    if (!timeline_csv.empty()) {
+      if (!outcome.telemetry.write_timeline_csv(timeline_csv)) {
+        std::fprintf(stderr, "cannot write %s\n", timeline_csv.c_str());
+        return 1;
+      }
+      std::printf("round timeline written to %s\n", timeline_csv.c_str());
     }
     return outcome.overflow_lanes == outcome.lanes ? 2 : 0;
   } catch (const std::exception& e) {

@@ -5,9 +5,15 @@
 // --trace-in and any --threads value — the per-lane outcomes match.
 //
 //   ./stream_service [--lanes=8] [--d=5] [--p=0.01] [--mhz=1000]
-//                    [--rounds=32] [--engine=qecool] [--seed=7]
-//                    [--threads=1] [--trace-out=s.qtrc] [--trace-in=s.qtrc]
+//                    [--rounds=32] [--engine=qecool] [--engines=0]
+//                    [--policy=dedicated] [--seed=7] [--threads=1]
+//                    [--trace-out=s.qtrc] [--trace-in=s.qtrc]
 //                    [--csv=lanes.csv]
+//
+// --engines=K shrinks the decoder pool below one engine per lane and
+// --policy picks the lane scheduler (dedicated | round_robin |
+// least_loaded); the per-lane "served/starved" column then shows how the
+// pool's cycles were spread across lanes.
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -26,6 +32,8 @@ int main(int argc, char** argv) {
   config.engine = args.get_or("engine", "qecool");
   config.cycles_per_round =
       qec::cycles_per_microsecond(args.get_double_or("mhz", 1000.0) * 1e6);
+  config.engines = static_cast<int>(args.get_int_or("engines", 0));
+  config.policy = args.get_or("policy", "dedicated");
   config.threads = qec::threads_override(args, 1);
 
   try {
@@ -38,15 +46,18 @@ int main(int argc, char** argv) {
       trace = qec::record_trace(config);
     }
     std::printf("streaming %d lanes, d=%u, %d rounds each, p=%g, budget "
-                "%.2f cycles/round, engine '%s'\n\n",
+                "%.2f cycles/round, engine '%s'\n",
                 trace.lanes(), trace.header().distance, trace.rounds(),
                 trace.header().p_data, config.cycles_per_round,
                 config.engine.c_str());
 
     const auto outcome = qec::run_stream(trace, config);
+    std::printf("decoder pool: %d engines, policy '%s'\n\n",
+                outcome.telemetry.engines, config.policy.c_str());
 
     qec::TextTable table({"lane", "outcome", "drain rounds", "popped",
-                          "cycles p50/p99", "depth mean/max"});
+                          "served/starved", "cycles p50/p99",
+                          "depth mean/max"});
     for (const auto& lane : outcome.telemetry.lanes) {
       const char* verdict = lane.overflow          ? "OVERFLOW"
                             : !lane.drained        ? "undrained"
@@ -55,15 +66,19 @@ int main(int argc, char** argv) {
       table.add_row({std::to_string(lane.lane), verdict,
                      std::to_string(lane.drain_rounds),
                      std::to_string(lane.popped_layers),
+                     std::to_string(lane.served_rounds) + " / " +
+                         std::to_string(lane.starved_rounds),
                      std::to_string(lane.cycle_percentile(50)) + " / " +
                          std::to_string(lane.cycle_percentile(99)),
                      qec::TextTable::fmt(lane.mean_depth(), 2) + " / " +
                          std::to_string(lane.max_depth())});
     }
     table.print();
-    std::printf("\n%d/%d lanes drained, %d overflowed, %d logical failures\n",
+    std::printf("\n%d/%d lanes drained, %d overflowed, %d logical failures, "
+                "fairness %.4f\n",
                 outcome.drained_lanes, outcome.lanes, outcome.overflow_lanes,
-                outcome.logical_failures);
+                outcome.logical_failures,
+                outcome.telemetry.fairness_index());
 
     const std::string trace_out = args.get_or("trace-out", "");
     if (!trace_out.empty()) {

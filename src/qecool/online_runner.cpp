@@ -8,25 +8,32 @@ OnlineStepper::OnlineStepper(const PlanarLattice& lattice,
       clean_(static_cast<std::size_t>(lattice.num_checks()), 0),
       per_round_(config.cycles_per_round) {}
 
-bool OnlineStepper::step(const BitVec& layer) {
+bool OnlineStepper::push(const BitVec& layer) {
   if (overflow_) return false;
   if (!engine_.push_layer(layer)) {
     overflow_ = true;
     return false;
   }
   ++rounds_;
-  if (per_round_ <= 0.0) {
-    engine_.run(QecoolEngine::kUnlimited);
-    return true;
-  }
+  return true;
+}
+
+std::uint64_t OnlineStepper::spend(double cycles) {
+  if (overflow_) return 0;
+  if (cycles <= 0.0) return engine_.run(QecoolEngine::kUnlimited);
   // Accumulate the fractional budget: a 1.5-cycle clock grants 1, 2, 1, 2,
   // ... cycles rather than truncating to 1 every round. Cycles the engine
   // leaves unused because it went idle are NOT carried — the hardware clock
   // ticks on regardless.
-  carry_ += per_round_;
+  carry_ += cycles;
   const auto budget = static_cast<std::uint64_t>(carry_);
   carry_ -= static_cast<double>(budget);
-  engine_.run(budget);
+  return engine_.run(budget);
+}
+
+bool OnlineStepper::step(const BitVec& layer) {
+  if (!push(layer)) return false;
+  spend(per_round_);
   return true;
 }
 

@@ -54,14 +54,36 @@ struct OnlineResult {
 /// the round's cycle budget, repeat. run_online() is a loop over this; the
 /// streaming decode service (src/stream) holds one stepper per lane and
 /// advances them round-by-round so many logical qubits progress together.
+///
+/// Push and spend are separate operations: a lane served by a shared
+/// engine pool receives a full, partial, or zero budget each round, so the
+/// service pushes the arriving layer unconditionally and grants cycles
+/// only when the scheduler assigns the lane an engine. step() bundles the
+/// two for the dedicated one-engine-per-lane case.
 class OnlineStepper {
  public:
   OnlineStepper(const PlanarLattice& lattice, const OnlineConfig& config);
 
-  /// Pushes one difference layer, then runs the engine for this round's
-  /// cycle budget (the integer part of the accumulated fractional budget).
+  /// Pushes one difference layer without spending any decode cycles.
   /// Returns false when the Reg queues overflow — a terminal state; later
   /// calls are no-ops returning false.
+  bool push(const BitVec& layer);
+
+  /// Pushes an all-zero layer (the drain phase after the last real round).
+  bool push_clean() { return push(clean_); }
+
+  /// Grants `cycles` decode cycles (<= 0: unconstrained, matching the
+  /// OnlineConfig::cycles_per_round convention). Fractional grants
+  /// accumulate in the cross-round carry and only the integer part is
+  /// spent, so a lane granted 0.5 cycles twice runs one cycle on the
+  /// second grant. Rounds with no grant leave the carry untouched — the
+  /// deficit shows up as queue depth, not as banked cycles. Returns the
+  /// cycles the engine actually consumed (it may idle below the budget);
+  /// no-op returning 0 after overflow.
+  std::uint64_t spend(double cycles);
+
+  /// push() + spend() of this round's configured budget — the dedicated
+  /// engine behaviour. Returns false when the Reg queues overflow.
   bool step(const BitVec& layer);
 
   /// Streams an all-zero layer (the drain phase after the last real round).

@@ -1,0 +1,89 @@
+// Lane-to-engine scheduling for the shared decoder-engine pool: K decoder
+// engines (K <= N) serve N logical-qubit lanes, and each round a
+// SchedulerPolicy decides which lanes receive an engine's worth of decode
+// cycles. This converts the streaming service's hard-coded one-engine-per-
+// lane assumption into the "how much decode hardware per chip" question the
+// ROADMAP poses (src/sfq/fabric.hpp asks it in the power domain).
+//
+// Policies are constructed from specs parsed exactly like decoder specs
+// ("name" or "name:key=value,..."), through the same DecoderOptions
+// machinery — unknown names and unknown options throw before any lane
+// exists. Built-ins:
+//   dedicated    engine i serves lane i every round; requires K == N and
+//                reproduces the pre-pool service byte for byte.
+//   round_robin  fixed rotation: engine j serves lane (round*K + j + offset)
+//                mod N, regardless of lane state (a TDM crossbar schedule).
+//                Option: offset (int, default 0).
+//   least_loaded lanes ranked by Reg queue depth (deepest first, ties by
+//                lane index); the K top-ranked live lanes are served. The
+//                name is the engine's view — a free engine grabs the most
+//                backed-up lane, i.e. work goes where load is highest.
+//
+// Determinism contract: assign() is called once per round on the scheduling
+// thread, in round order, and must be a pure function of (view, options,
+// rounds seen so far). dynamic() policies read runtime lane state and force
+// a scheduling barrier every round; static policies are pure functions of
+// the round index, so the service may batch them rounds_per_dispatch rounds
+// at a time (see DESIGN.md section 8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "decoder/registry.hpp"
+
+namespace qec {
+
+/// What a policy sees when assigning engines for one round: per-lane Reg
+/// queue depths and liveness, sampled before the round's layer lands.
+struct ScheduleView {
+  std::int64_t round = 0;  ///< global round index (streaming + drain)
+  int lanes = 0;
+  int engines = 0;
+  /// Stored Reg layers per lane at the start of the round (size lanes).
+  const int* depth = nullptr;
+  /// Lane overflowed or drained — serving it wastes the engine (size lanes).
+  const std::uint8_t* finished = nullptr;
+};
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// True when assignments depend on runtime lane state (queue depths),
+  /// forcing a scheduling barrier every round. Static policies — pure
+  /// functions of the round index — may be batched.
+  virtual bool dynamic() const { return false; }
+
+  /// Called once before the run; throw std::invalid_argument for pool
+  /// shapes the policy cannot serve (dedicated requires engines == lanes).
+  virtual void validate(int lanes, int engines) const;
+
+  /// Fills assignment[e] (size view.engines) with the lane engine e serves
+  /// this round, or -1 to leave it idle. A lane may appear at most once —
+  /// one Unit array cannot consume two engines' cycles in one interval.
+  virtual void assign(const ScheduleView& view,
+                      std::vector<int>& assignment) = 0;
+};
+
+using SchedulerPolicyFactory =
+    std::function<std::unique_ptr<SchedulerPolicy>(const DecoderOptions&)>;
+
+/// Registers `factory` under `name` (overwrites, so tests and downstream
+/// code can shadow built-ins). Thread-safe, mirroring register_decoder.
+void register_scheduler_policy(const std::string& name,
+                               SchedulerPolicyFactory factory);
+
+/// Constructs a policy from a spec ("name" or "name:k=v,..."). Throws
+/// std::invalid_argument for unknown names, malformed option lists, or
+/// options the named policy does not understand.
+std::unique_ptr<SchedulerPolicy> make_scheduler_policy(std::string_view spec);
+
+/// Sorted names of all registered policies (built-ins plus extensions).
+std::vector<std::string> registered_scheduler_policies();
+
+}  // namespace qec

@@ -1,11 +1,13 @@
 #include "stream/service.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
 #include "decoder/registry.hpp"
 #include "qecool/online_runner.hpp"
 #include "sim/executor.hpp"
+#include "stream/scheduler.hpp"
 #include "surface_code/planar_lattice.hpp"
 
 namespace qec {
@@ -47,6 +49,197 @@ struct Lane {
   LaneTelemetry telemetry;
 };
 
+/// Orchestrates the shared engine pool over one run: per dispatch it asks
+/// the policy for up to `batch` rounds of engine->lane assignments (on the
+/// calling thread, in round order), executes them lane-parallel with all
+/// writes going to lane-local slots, then reduces engine accounting and
+/// the round timeline on the calling thread — so every outcome and CSV is
+/// independent of the worker-thread count.
+class PoolScheduler {
+ public:
+  PoolScheduler(std::vector<Lane>& lanes, SchedulerPolicy& policy, int engines,
+                const StreamConfig& config, StreamTelemetry& telemetry)
+      : lanes_(lanes),
+        policy_(policy),
+        config_(config),
+        telemetry_(telemetry),
+        engines_(engines),
+        batch_(policy.dynamic() ? 1
+                                : std::max(1, config.rounds_per_dispatch)) {
+    telemetry_.engine_stats.resize(static_cast<std::size_t>(engines_));
+    for (int e = 0; e < engines_; ++e) {
+      telemetry_.engine_stats[static_cast<std::size_t>(e)].engine = e;
+    }
+    depth_.resize(lanes_.size());
+    finished_.resize(lanes_.size());
+    assignment_.assign(static_cast<std::size_t>(engines_), -1);
+  }
+
+  int batch() const { return batch_; }
+
+  /// Runs `count` rounds starting at global round `start`. Streaming
+  /// rounds (drain == false) push trace layer (start + r) into every lane
+  /// that has not overflowed; drain rounds push clean layers into every
+  /// unfinished lane.
+  void dispatch(std::int64_t start, int count, bool drain,
+                const SyndromeTrace* trace) {
+    const int n = static_cast<int>(lanes_.size());
+    const auto slots = static_cast<std::size_t>(n) * static_cast<std::size_t>(count);
+    grant_.assign(slots, -1);
+    cycles_.assign(slots, 0);
+    flags_.assign(slots, 0);
+    depth_scratch_.assign(slots, 0);
+
+    // Pre-round lane state for the policy. Fresh only when count == 1,
+    // which the constructor forces for dynamic policies; static policies
+    // never read it.
+    for (int i = 0; i < n; ++i) {
+      const Lane& lane = lanes_[static_cast<std::size_t>(i)];
+      depth_[static_cast<std::size_t>(i)] = lane.stepper.engine().stored_layers();
+      finished_[static_cast<std::size_t>(i)] =
+          (drain ? lane.finished() : lane.stepper.overflowed()) ? 1 : 0;
+    }
+
+    // Assignments for the whole batch, in round order on this thread.
+    assignments_.assign(static_cast<std::size_t>(count) *
+                            static_cast<std::size_t>(engines_),
+                        -1);
+    ScheduleView view;
+    view.lanes = n;
+    view.engines = engines_;
+    view.depth = depth_.data();
+    view.finished = finished_.data();
+    for (int r = 0; r < count; ++r) {
+      view.round = start + r;
+      // Reset so a policy that leaves an engine's entry untouched idles it
+      // instead of inheriting the previous round's grant.
+      std::fill(assignment_.begin(), assignment_.end(), -1);
+      policy_.assign(view, assignment_);
+      for (int e = 0; e < engines_; ++e) {
+        const int lane = assignment_[static_cast<std::size_t>(e)];
+        assignments_[static_cast<std::size_t>(r) * engines_ +
+                     static_cast<std::size_t>(e)] = lane;
+        if (lane < 0) continue;
+        if (lane >= n) {
+          throw std::logic_error("stream: policy assigned engine " +
+                                 std::to_string(e) + " to nonexistent lane " +
+                                 std::to_string(lane));
+        }
+        auto& slot = grant_[static_cast<std::size_t>(lane) * count +
+                            static_cast<std::size_t>(r)];
+        if (slot >= 0) {
+          throw std::logic_error(
+              "stream: policy assigned two engines to lane " +
+              std::to_string(lane) + " in one round");
+        }
+        slot = e;
+      }
+    }
+
+    // Lane-parallel execution; every write below lands in lane-local
+    // state or the lane's own scratch slots.
+    parallel_for(n, config_.threads, [&](int i) {
+      Lane& lane = lanes_[static_cast<std::size_t>(i)];
+      for (int r = 0; r < count; ++r) {
+        const std::size_t idx = static_cast<std::size_t>(i) * count +
+                                static_cast<std::size_t>(r);
+        if (drain ? lane.finished() : lane.stepper.overflowed()) continue;
+        // Backlog before this round's layer lands: the starvation test.
+        const bool backlog = lane.stepper.engine().stored_layers() > 0;
+        const bool pushed =
+            drain ? lane.stepper.push_clean()
+                  : lane.stepper.push(trace->layer(i, static_cast<int>(start) + r));
+        std::uint8_t flags = kActive;
+        if (pushed) {
+          flags |= kPushed;
+          if (drain) {
+            ++lane.telemetry.drain_rounds;
+          } else {
+            ++lane.telemetry.rounds_streamed;
+          }
+          if (grant_[idx] >= 0) {
+            cycles_[idx] = lane.stepper.spend(config_.cycles_per_round);
+            flags |= kServed;
+            ++lane.telemetry.served_rounds;
+          } else if (backlog) {
+            flags |= kStarved;
+            ++lane.telemetry.starved_rounds;
+          }
+        }
+        lane.record_depth();
+        depth_scratch_[idx] = lane.stepper.engine().stored_layers();
+        flags_[idx] = flags;
+      }
+    });
+
+    // Reductions in fixed (round, lane/engine) order on this thread.
+    for (int r = 0; r < count; ++r) {
+      RoundSample sample;
+      sample.round = start + r;
+      sample.drain = drain;
+      for (int i = 0; i < n; ++i) {
+        const std::size_t idx = static_cast<std::size_t>(i) * count +
+                                static_cast<std::size_t>(r);
+        const std::uint8_t flags = flags_[idx];
+        if (!(flags & kActive)) continue;
+        ++sample.live_lanes;
+        if (flags & kServed) ++sample.served_lanes;
+        if (flags & kStarved) ++sample.starved_lanes;
+        if (!(flags & kPushed)) ++overflowed_so_far_;
+        sample.depth_sum += static_cast<std::uint64_t>(depth_scratch_[idx]);
+        sample.depth_max = std::max(sample.depth_max, depth_scratch_[idx]);
+      }
+      sample.overflowed_lanes = overflowed_so_far_;
+      // Rounds where every lane has already finished are scheduling
+      // artifacts (a batch outlives the fleet, or the trace outlives an
+      // all-overflow run): account nothing, so engine stats — like the
+      // timeline — cover exactly the rounds with live lanes and stay
+      // invariant under rounds_per_dispatch.
+      if (sample.live_lanes == 0) continue;
+      for (int e = 0; e < engines_; ++e) {
+        EngineTelemetry& stats = telemetry_.engine_stats[static_cast<std::size_t>(e)];
+        const int lane = assignments_[static_cast<std::size_t>(r) * engines_ +
+                                      static_cast<std::size_t>(e)];
+        const std::size_t idx = lane < 0
+                                    ? 0
+                                    : static_cast<std::size_t>(lane) * count +
+                                          static_cast<std::size_t>(r);
+        if (lane >= 0 && (flags_[idx] & kServed)) {
+          ++stats.busy_rounds;
+          stats.cycles += cycles_[idx];
+          sample.cycles += cycles_[idx];
+        } else {
+          ++stats.idle_rounds;
+        }
+      }
+      telemetry_.timeline.push_back(sample);
+    }
+  }
+
+ private:
+  static constexpr std::uint8_t kActive = 1;   ///< lane took part in the round
+  static constexpr std::uint8_t kPushed = 2;   ///< layer accepted (no overflow)
+  static constexpr std::uint8_t kServed = 4;   ///< consumed an engine grant
+  static constexpr std::uint8_t kStarved = 8;  ///< backlogged, no grant
+
+  std::vector<Lane>& lanes_;
+  SchedulerPolicy& policy_;
+  const StreamConfig& config_;
+  StreamTelemetry& telemetry_;
+  const int engines_;
+  const int batch_;
+  int overflowed_so_far_ = 0;
+
+  std::vector<int> depth_;             // pre-round, for the policy view
+  std::vector<std::uint8_t> finished_;
+  std::vector<int> assignment_;        // one round, engine -> lane
+  std::vector<int> assignments_;       // whole batch, [round][engine]
+  std::vector<int> grant_;             // [lane][round]: engine or -1
+  std::vector<std::uint64_t> cycles_;  // [lane][round]: cycles consumed
+  std::vector<std::uint8_t> flags_;    // [lane][round]: kActive | ...
+  std::vector<int> depth_scratch_;     // [lane][round]: post-round depth
+};
+
 }  // namespace
 
 SyndromeTrace record_trace(const StreamConfig& config) {
@@ -79,9 +272,17 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
                          const StreamConfig& config) {
   const int n = trace.lanes();
   if (n < 1) throw std::invalid_argument("stream: trace has no lanes");
-  // Resolve the engine spec before any lane (or thread) exists so a typo
-  // fails loudly up front.
+  // Resolve the engine and policy specs before any lane (or thread)
+  // exists so a typo fails loudly up front.
   const QecoolConfig engine_config = online_engine_config(config.engine);
+  const auto policy = make_scheduler_policy(config.policy);
+  const int engines = config.engines <= 0 ? n : config.engines;
+  if (engines < 1 || engines > n) {
+    throw std::invalid_argument("stream: engines must be in [1, lanes], got " +
+                                std::to_string(engines));
+  }
+  policy->validate(n, engines);
+
   OnlineConfig online;
   online.engine = engine_config;
   online.cycles_per_round = config.cycles_per_round;
@@ -94,32 +295,38 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
     lanes.emplace_back(lattice, online, i, engine_config.reg_depth + 1);
   }
 
+  StreamOutcome outcome;
+  outcome.telemetry.distance = static_cast<int>(trace.header().distance);
+  outcome.telemetry.p = trace.header().p_data;
+  outcome.telemetry.cycles_per_round = config.cycles_per_round;
+  outcome.telemetry.seed = trace.header().seed;
+  outcome.telemetry.engine = config.engine;
+  outcome.telemetry.policy = config.policy;
+  outcome.telemetry.engines = engines;
+
+  PoolScheduler scheduler(lanes, *policy, engines, config, outcome.telemetry);
+
   // Phase 1 — streaming: round t reaches every live lane before any lane
-  // sees round t+1, mirroring syndrome arrival in hardware. Lanes are
-  // fully independent, so the parallel_for writes only lane-local state.
-  for (int t = 0; t < trace.rounds(); ++t) {
-    parallel_for(n, config.threads, [&](int i) {
-      Lane& lane = lanes[static_cast<std::size_t>(i)];
-      if (lane.stepper.overflowed()) return;
-      if (lane.stepper.step(trace.layer(i, t))) {
-        ++lane.telemetry.rounds_streamed;
-      }
-      lane.record_depth();
-    });
+  // sees round t+1, mirroring syndrome arrival in hardware; the policy
+  // grants engines round by round within each dispatch batch.
+  for (std::int64_t t = 0; t < trace.rounds();) {
+    const int count = static_cast<int>(
+        std::min<std::int64_t>(scheduler.batch(), trace.rounds() - t));
+    scheduler.dispatch(t, count, /*drain=*/false, &trace);
+    t += count;
   }
 
   // Phase 2 — drain: clean layers until every lane overflowed or drained,
   // bounded by max_drain_rounds (QEC never stops in hardware).
-  for (int extra = 0; extra < config.max_drain_rounds; ++extra) {
+  std::int64_t round = trace.rounds();
+  for (int budget = config.max_drain_rounds; budget > 0;) {
     bool any_active = false;
     for (const auto& lane : lanes) any_active |= !lane.finished();
     if (!any_active) break;
-    parallel_for(n, config.threads, [&](int i) {
-      Lane& lane = lanes[static_cast<std::size_t>(i)];
-      if (lane.finished()) return;
-      if (lane.stepper.step_clean()) ++lane.telemetry.drain_rounds;
-      lane.record_depth();
-    });
+    const int count = std::min(scheduler.batch(), budget);
+    scheduler.dispatch(round, count, /*drain=*/true, nullptr);
+    round += count;
+    budget -= count;
   }
 
   // Finalize each lane (the logical scoring decodes nothing, but keep it
@@ -143,13 +350,7 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
     }
   });
 
-  StreamOutcome outcome;
   outcome.lanes = n;
-  outcome.telemetry.distance = static_cast<int>(trace.header().distance);
-  outcome.telemetry.p = trace.header().p_data;
-  outcome.telemetry.cycles_per_round = config.cycles_per_round;
-  outcome.telemetry.seed = trace.header().seed;
-  outcome.telemetry.engine = config.engine;
   outcome.telemetry.lanes.reserve(static_cast<std::size_t>(n));
   for (auto& lane : lanes) {
     outcome.telemetry.lanes.push_back(std::move(lane.telemetry));

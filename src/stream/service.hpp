@@ -1,15 +1,24 @@
-// Streaming decode service: drives many logical-qubit lanes through
-// on-line QECOOL engines concurrently — the fleet-scale version of the
-// single-trial run_online() loop, modelling a processor's worth of
-// syndrome streams arriving every measurement interval (the ~2,500-patch
-// question src/sfq/fabric.hpp asks, answered in the time domain).
+// Streaming decode service: drives many logical-qubit lanes through a
+// shared pool of K on-line QECOOL engines (K <= N lanes) — the fleet-scale
+// version of the single-trial run_online() loop, modelling a processor's
+// worth of syndrome streams arriving every measurement interval and the
+// hardware-budget question behind it: how much decode hardware per chip
+// (the ~2,500-patch question src/sfq/fabric.hpp asks, answered in the
+// time domain).
+//
+// Each round, every live lane receives its arriving difference layer, and
+// a pluggable SchedulerPolicy (stream/scheduler.hpp) grants up to K lanes
+// one engine's worth of decode cycles; ungranted lanes carry the deficit
+// as Reg queue depth. K == N with the "dedicated" policy is the original
+// one-engine-per-lane service, byte for byte.
 //
 // Determinism contract: every lane is an independent (engine, telemetry)
 // pair; the scheduler advances all live lanes round-by-round over the
-// PR-1 thread-pool executor and reduces results on the calling thread in
-// lane order. The outcome — including the telemetry CSV, byte for byte —
-// is a pure function of (trace, StreamConfig minus threads); --threads
-// only changes wall-clock. See DESIGN.md section 7.
+// PR-1 thread-pool executor, assigns engines on the calling thread in
+// round order, and reduces results on the calling thread in lane order.
+// The outcome — including every telemetry CSV, byte for byte — is a pure
+// function of (trace, StreamConfig minus threads); --threads and
+// rounds_per_dispatch only change wall-clock. See DESIGN.md sections 7-8.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +46,22 @@ struct StreamConfig {
 
   /// Clean rounds pushed after the trace ends before giving up on a lane.
   int max_drain_rounds = 1000;
+
+  /// Decoder engines in the shared pool (K); <= 0 means one per lane
+  /// (K == N). Must end up in [1, lanes].
+  int engines = 0;
+
+  /// Lane-to-engine scheduling policy spec, resolved via
+  /// make_scheduler_policy() — "dedicated", "round_robin",
+  /// "round_robin:offset=3", or "least_loaded".
+  std::string policy = "dedicated";
+
+  /// Rounds executed per scheduling dispatch (one parallel_for barrier).
+  /// Static policies amortize the per-round barrier over this many rounds
+  /// without changing any outcome; dynamic policies (least_loaded) need
+  /// fresh queue depths every round and clamp it to 1. <= 1 means one
+  /// round per dispatch.
+  int rounds_per_dispatch = 1;
 
   /// Worker threads (<= 0: all hardware threads). Never changes results.
   int threads = 1;

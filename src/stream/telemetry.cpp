@@ -40,6 +40,8 @@ void LaneTelemetry::merge(const LaneTelemetry& other) {
   logical_failure |= other.logical_failure;
   rounds_streamed += other.rounds_streamed;
   drain_rounds += other.drain_rounds;
+  served_rounds += other.served_rounds;
+  starved_rounds += other.starved_rounds;
   popped_layers += other.popped_layers;
   total_cycles += other.total_cycles;
   if (depth_hist.size() < other.depth_hist.size()) {
@@ -74,6 +76,28 @@ int StreamTelemetry::drained_lanes() const {
 int StreamTelemetry::failed_lanes() const {
   return static_cast<int>(std::count_if(
       lanes.begin(), lanes.end(), [](const auto& l) { return l.failed(); }));
+}
+
+double StreamTelemetry::pool_utilization() const {
+  std::int64_t busy = 0, idle = 0;
+  for (const auto& e : engine_stats) {
+    busy += e.busy_rounds;
+    idle += e.idle_rounds;
+  }
+  return busy + idle
+             ? static_cast<double>(busy) / static_cast<double>(busy + idle)
+             : 0.0;
+}
+
+double StreamTelemetry::fairness_index() const {
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& lane : lanes) {
+    const auto s = static_cast<double>(lane.served_rounds);
+    sum += s;
+    sum_sq += s * s;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(lanes.size()) * sum_sq);
 }
 
 bool StreamTelemetry::write_csv(const std::string& path) const {
@@ -145,6 +169,59 @@ bool StreamTelemetry::write_csv(const std::string& path) const {
        static_cast<std::uint64_t>(std::count_if(
            lanes.begin(), lanes.end(),
            [](const auto& l) { return l.logical_failure; })));
+  csv.flush();
+  return true;
+}
+
+bool StreamTelemetry::write_schedule_csv(const std::string& path) const {
+  CsvWriter csv(path, {"kind", "id", "policy", "engines", "lanes",
+                       "rounds_active", "rounds_inactive", "cycles",
+                       "utilization", "fairness"});
+  if (!csv.ok()) return false;
+
+  const std::string pool_engines = std::to_string(engines);
+  const std::string pool_lanes = std::to_string(lanes.size());
+  for (const auto& e : engine_stats) {
+    csv.add_row({"engine", std::to_string(e.engine), policy, pool_engines,
+                 pool_lanes, std::to_string(e.busy_rounds),
+                 std::to_string(e.idle_rounds), std::to_string(e.cycles),
+                 fmt_double(e.utilization(), "%.4f"), ""});
+  }
+  std::int64_t busy = 0, idle = 0;
+  std::uint64_t cycles = 0;
+  for (const auto& e : engine_stats) {
+    busy += e.busy_rounds;
+    idle += e.idle_rounds;
+    cycles += e.cycles;
+  }
+  for (const auto& lane : lanes) {
+    csv.add_row({"lane", std::to_string(lane.lane), policy, pool_engines,
+                 pool_lanes, std::to_string(lane.served_rounds),
+                 std::to_string(lane.starved_rounds),
+                 std::to_string(lane.total_cycles), "", ""});
+  }
+  csv.add_row({"pool", "all", policy, pool_engines, pool_lanes,
+               std::to_string(busy), std::to_string(idle),
+               std::to_string(cycles), fmt_double(pool_utilization(), "%.4f"),
+               fmt_double(fairness_index(), "%.4f")});
+  csv.flush();
+  return true;
+}
+
+bool StreamTelemetry::write_timeline_csv(const std::string& path) const {
+  CsvWriter csv(path, {"round", "phase", "live", "served", "starved",
+                       "overflowed", "depth_sum", "depth_mean", "depth_max",
+                       "cycles"});
+  if (!csv.ok()) return false;
+  for (const auto& s : timeline) {
+    csv.add_row({std::to_string(s.round), s.drain ? "drain" : "stream",
+                 std::to_string(s.live_lanes), std::to_string(s.served_lanes),
+                 std::to_string(s.starved_lanes),
+                 std::to_string(s.overflowed_lanes),
+                 std::to_string(s.depth_sum),
+                 fmt_double(s.depth_mean(), "%.4f"),
+                 std::to_string(s.depth_max), std::to_string(s.cycles)});
+  }
   csv.flush();
   return true;
 }

@@ -1,8 +1,10 @@
 // Telemetry of the streaming decode service: per-lane and aggregate
-// queue-depth histograms, per-layer decode-cycle latency percentiles, and
-// overflow/drain counters, emitted as CSV via common/csv.
+// queue-depth histograms, per-layer decode-cycle latency percentiles,
+// overflow/drain counters, and — for the shared engine pool — per-engine
+// utilization, per-lane starvation counters, a fairness index, and the
+// per-round aggregate queue-depth timeline, emitted as CSV via common/csv.
 //
-// Definitions (also in DESIGN.md section 7):
+// Definitions (also in DESIGN.md sections 7 and 8):
 //  - queue depth    stored Reg layers observed after each streamed round
 //                   (including drain rounds); bin k counts rounds that
 //                   ended with k layers resident, k in [0, reg_depth].
@@ -12,9 +14,15 @@
 //  - overflow       the lane pushed a layer into a full Reg queue; the
 //                   lane stops immediately (terminal, as in Fig 7).
 //  - drained        every Reg bit clear and no stored layers by run end.
+//  - served round   a live lane was granted a pool engine for the round.
+//  - starved round  a live lane entered the round with backlog (stored
+//                   layers > 0 before the new layer landed) and was not
+//                   granted an engine.
 //
-// Everything here is assembled on the calling thread in lane order, so the
-// CSV is byte-identical for any --threads value.
+// Everything here is assembled on the calling thread in lane order, so
+// every CSV is byte-identical for any --threads value. write_csv keeps the
+// pre-pool column set (the dedicated K == N contract); the pool views are
+// separate files (write_schedule_csv, write_timeline_csv).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +43,8 @@ struct LaneTelemetry {
 
   int rounds_streamed = 0;  ///< trace rounds pushed (stops at overflow)
   int drain_rounds = 0;     ///< extra clean rounds pushed
+  int served_rounds = 0;    ///< rounds granted a pool engine
+  int starved_rounds = 0;   ///< rounds denied an engine while backlogged
   int popped_layers = 0;
   std::uint64_t total_cycles = 0;
 
@@ -58,6 +68,41 @@ struct LaneTelemetry {
   void merge(const LaneTelemetry& other);
 };
 
+/// Accounting of one pool engine across the run. An engine is busy in a
+/// round when its assigned lane actually consumed the grant (the lane was
+/// live); it is idle when unassigned or its lane had already finished.
+struct EngineTelemetry {
+  int engine = 0;
+  std::int64_t busy_rounds = 0;
+  std::int64_t idle_rounds = 0;
+  std::uint64_t cycles = 0;  ///< working cycles consumed through this engine
+
+  double utilization() const {
+    const std::int64_t total = busy_rounds + idle_rounds;
+    return total ? static_cast<double>(busy_rounds) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// One entry per scheduled round: the aggregate queue-depth timeline that
+/// makes overflow cascades under bursty load visible, not just end-of-run
+/// histograms. Rounds where no lane was active are not recorded.
+struct RoundSample {
+  std::int64_t round = 0;    ///< global round index (stream + drain)
+  bool drain = false;        ///< false: trace round, true: drain round
+  int live_lanes = 0;        ///< lanes that took part in the round
+  int served_lanes = 0;      ///< live lanes granted an engine
+  int starved_lanes = 0;     ///< live lanes denied an engine while backlogged
+  int overflowed_lanes = 0;  ///< cumulative lanes lost to overflow so far
+  std::uint64_t depth_sum = 0;  ///< stored layers across live lanes, post-round
+  int depth_max = 0;
+  std::uint64_t cycles = 0;  ///< decode cycles consumed this round (all engines)
+
+  double depth_mean() const {
+    return live_lanes ? static_cast<double>(depth_sum) / live_lanes : 0.0;
+  }
+};
+
 struct StreamTelemetry {
   // Run context, echoed into every CSV row.
   int distance = 0;
@@ -65,8 +110,12 @@ struct StreamTelemetry {
   double cycles_per_round = 0.0;
   std::uint64_t seed = 0;
   std::string engine = "qecool";
+  std::string policy = "dedicated";
+  int engines = 0;  ///< pool size K
 
   std::vector<LaneTelemetry> lanes;
+  std::vector<EngineTelemetry> engine_stats;  ///< one per pool engine
+  std::vector<RoundSample> timeline;          ///< per-round aggregates
 
   /// All lanes merged, in lane order; counters sum, percentiles recompute
   /// over the pooled samples.
@@ -76,10 +125,31 @@ struct StreamTelemetry {
   int drained_lanes() const;
   int failed_lanes() const;
 
+  /// Busy fraction of the whole pool: busy engine-rounds over all
+  /// accounted engine-rounds (0.0 when nothing was scheduled).
+  double pool_utilization() const;
+
+  /// Jain's fairness index over per-lane served rounds:
+  /// (sum s_i)^2 / (n * sum s_i^2), 1.0 = perfectly even service, 1/n =
+  /// one lane got everything. Defined as 1.0 when nothing was served.
+  double fairness_index() const;
+
   /// One row per lane plus a final "all" aggregate row, where the
   /// overflow/drained/logical_failure columns hold lane *counts*. Returns
-  /// false when the file could not be opened.
+  /// false when the file could not be opened. Column set is frozen: a
+  /// dedicated K == N run emits the same bytes as the pre-pool service.
   bool write_csv(const std::string& path) const;
+
+  /// Pool scheduling report: one row per engine (kind "engine":
+  /// rounds_active = busy, rounds_inactive = idle, utilization), one per
+  /// lane (kind "lane": rounds_active = served, rounds_inactive = starved),
+  /// and a final "pool" summary row carrying the fairness index.
+  bool write_schedule_csv(const std::string& path) const;
+
+  /// The per-round aggregate queue-depth timeline, one row per recorded
+  /// round: live/served/starved lane counts, cumulative overflows, depth
+  /// sum/mean/max, and cycles consumed.
+  bool write_timeline_csv(const std::string& path) const;
 };
 
 }  // namespace qec

@@ -165,6 +165,71 @@ TEST(OnlineRunner, StepperMatchesRunOnline) {
   }
 }
 
+TEST(OnlineRunner, PushSpendDecompositionMatchesStep) {
+  // step() must be exactly push() + spend(configured budget): driving the
+  // two halves by hand — the shared-pool service's calling convention —
+  // reproduces the bundled stepper cycle for cycle, fractional carry
+  // included.
+  const PlanarLattice lat(7);
+  Xoshiro256ss rng(21);
+  OnlineConfig config;
+  config.cycles_per_round = 150.25;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto h = sample_history(lat, {0.02, 0.02, 7}, rng);
+    OnlineStepper bundled(lat, config);
+    OnlineStepper split(lat, config);
+    for (const auto& layer : h.difference) {
+      const bool stepped = bundled.step(layer);
+      const bool pushed = split.push(layer);
+      ASSERT_EQ(stepped, pushed);
+      if (!pushed) break;
+      split.spend(config.cycles_per_round);
+    }
+    const auto a = bundled.result();
+    const auto b = split.result();
+    ASSERT_EQ(a.overflow, b.overflow);
+    ASSERT_EQ(a.correction, b.correction);
+    ASSERT_EQ(a.total_cycles, b.total_cycles);
+    ASSERT_EQ(a.layer_cycles, b.layer_cycles);
+  }
+}
+
+TEST(OnlineRunner, ZeroBudgetRoundsAccumulateBacklog) {
+  // A lane denied service only queues: pushes without spend() grow the
+  // stored-layer count one per round, consume no cycles, and overflow the
+  // Reg exactly when the (reg_depth + 1)-th layer arrives.
+  const PlanarLattice lat(5);
+  OnlineConfig config;
+  config.cycles_per_round = 64;
+  OnlineStepper stepper(lat, config);
+  const BitVec clean(static_cast<std::size_t>(lat.num_checks()), 0);
+  for (int round = 1; round <= config.engine.reg_depth; ++round) {
+    ASSERT_TRUE(stepper.push(clean));
+    EXPECT_EQ(stepper.engine().stored_layers(), round);
+  }
+  EXPECT_EQ(stepper.engine().total_cycles(), 0u);
+  EXPECT_FALSE(stepper.push(clean)) << "Reg must overflow at depth + 1";
+  EXPECT_TRUE(stepper.overflowed());
+  EXPECT_EQ(stepper.spend(1000.0), 0u) << "spend after overflow is a no-op";
+}
+
+TEST(OnlineRunner, FractionalSpendCarriesDeficitAcrossGrants) {
+  // Two 0.5-cycle grants must execute one cycle on the second grant; a
+  // grant the lane never receives must NOT bank cycles (no spend call, no
+  // carry growth). Use a backlog that leaves the engine with work so a
+  // granted cycle is visibly consumed.
+  const PlanarLattice lat(5);
+  OnlineConfig config;  // budget irrelevant: spend() is driven by hand
+  OnlineStepper stepper(lat, config);
+  const BitVec clean(static_cast<std::size_t>(lat.num_checks()), 0);
+  // Build enough backlog that clean base layers are poppable work.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(stepper.push(clean));
+  EXPECT_EQ(stepper.spend(0.5), 0u) << "half a cycle buys nothing yet";
+  EXPECT_EQ(stepper.engine().total_cycles(), 0u);
+  EXPECT_EQ(stepper.spend(0.5), 1u) << "the carried half completes a cycle";
+  EXPECT_EQ(stepper.engine().total_cycles(), 1u);
+}
+
 TEST(OnlineRunner, MaxDrainRoundsExhaustionReportsUndrained) {
   // With max_drain_rounds = 0 the thv gate guarantees failure whenever the
   // last layers carry defects (a base layer is decoded only once m - b >

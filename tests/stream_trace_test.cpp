@@ -182,6 +182,51 @@ TEST(StreamTrace, WrappingSizeHeaderThrowsInsteadOfAllocating) {
   std::remove(path.c_str());
 }
 
+TEST(StreamTrace, SingleBitCorruptionSweepNeverCrashesOrSilentlyLoads) {
+  // Deterministic first slice of the ROADMAP fuzzing item: flip every
+  // single bit of a small serialized trace. Each mutation must either
+  // load and re-serialize to exactly the mutated bytes (bits the format
+  // deliberately does not validate — the seed/p_data/p_meas provenance
+  // fields) or throw TraceError — never crash, never load as something
+  // the file does not say.
+  StreamConfig config;
+  config.lanes = 2;
+  config.distance = 3;
+  config.p = 0.05;
+  config.rounds = 3;
+  config.seed = 5;
+  const auto trace = record_trace(config);
+  const std::string path = temp_path("bitflip.qtrc");
+  const std::string mutated_path = temp_path("bitflip_mut.qtrc");
+  trace.save(path);
+  const auto bytes = read_all(path);
+  ASSERT_GT(bytes.size(), 0u);
+
+  std::size_t loaded_ok = 0, rejected = 0;
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto mutated = bytes;
+    mutated[bit / 8] =
+        static_cast<char>(mutated[bit / 8] ^ (1u << (bit % 8)));
+    write_all(mutated_path, mutated);
+    try {
+      const auto reloaded = SyndromeTrace::load(mutated_path);
+      ++loaded_ok;
+      reloaded.save(mutated_path);
+      ASSERT_EQ(read_all(mutated_path), mutated)
+          << "flipping bit " << bit << " was silently altered on load/save";
+    } catch (const TraceError&) {
+      ++rejected;
+    }
+  }
+  // Exactly the 24 provenance bytes (seed u64, p_data f64, p_meas f64) are
+  // informational; every other bit — magic, version, dimensions, payload,
+  // padding, checksum — must be caught.
+  EXPECT_EQ(loaded_ok, 24u * 8u);
+  EXPECT_EQ(rejected, bytes.size() * 8 - 24 * 8);
+  std::remove(path.c_str());
+  std::remove(mutated_path.c_str());
+}
+
 TEST(StreamTrace, MissingFileThrows) {
   EXPECT_THROW(SyndromeTrace::load(temp_path("does_not_exist.qtrc")),
                TraceError);
