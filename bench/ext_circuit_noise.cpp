@@ -38,6 +38,14 @@ double run_point(qec::Decoder& decoder, int d, double p, int trials,
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "ext_circuit_noise",
+          "decoder accuracy under circuit-level depolarizing noise in the "
+          "syndrome-extraction circuit (extension beyond the paper)",
+          "  --trials=400          Monte Carlo trials per point (env "
+          "QECOOL_TRIALS)\n")) {
+    return 0;
+  }
   const int trials = static_cast<int>(qec::trials_override(args, 400));
 
   qec::bench::print_header(

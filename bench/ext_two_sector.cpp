@@ -16,6 +16,14 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "ext_two_sector",
+          "correlated two-sector depolarizing noise: validates independent "
+          "X/Z decoding under correlated Y errors (paper footnote 2)",
+          "  --trials=2000         Monte Carlo trials (env QECOOL_TRIALS)\n"
+          "  --d=5                 code distance\n")) {
+    return 0;
+  }
   const int trials = static_cast<int>(qec::trials_override(args, 2000));
   const int d = static_cast<int>(args.get_int_or("d", 5));
 

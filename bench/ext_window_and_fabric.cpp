@@ -16,6 +16,14 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "ext_window_and_fabric",
+          "sliding-window MWPM accuracy vs window size, plus decoder-fabric "
+          "bill of materials for whole processors (extensions)",
+          "  --trials=400          Monte Carlo trials per point (env "
+          "QECOOL_TRIALS)\n")) {
+    return 0;
+  }
   const int trials = static_cast<int>(qec::trials_override(args, 400));
 
   qec::bench::print_header(

@@ -13,6 +13,19 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "fig4a_threshold_batch",
+          "Fig 4a: logical error-rate scaling of batch-QECOOL vs MWPM over "
+          "the threshold grid",
+          "  --trials=400          Monte Carlo trials per point (env "
+          "QECOOL_TRIALS)\n"
+          "  --fast                shrink to 120 trials for smoke runs\n"
+          "  --dmax=13             largest code distance\n"
+          "  --threads=1           worker threads (0 = all cores; env "
+          "QECOOL_THREADS)\n"
+          "  --csv=FILE            write the sweep CSV to FILE\n")) {
+    return 0;
+  }
   const int base_trials =
       static_cast<int>(qec::trials_override(args, args.get_flag("fast") ? 120 : 400));
   const int dmax = static_cast<int>(args.get_int_or("dmax", 13));

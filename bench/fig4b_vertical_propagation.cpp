@@ -16,6 +16,15 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "fig4b_vertical_propagation",
+          "Fig 4b: fraction of matchings propagating >= 3 planes vertically "
+          "(the evidence for thv = 3), plus the full histogram",
+          "  --trials=300          Monte Carlo trials per point (env "
+          "QECOOL_TRIALS)\n"
+          "  --dmax=13             largest code distance\n")) {
+    return 0;
+  }
   const int trials = static_cast<int>(qec::trials_override(args, 300));
   const int dmax = static_cast<int>(args.get_int_or("dmax", 13));
 

@@ -16,6 +16,18 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "fig7_online_frequency",
+          "Fig 7: on-line QECOOL accuracy at 500 MHz / 1 GHz / 2 GHz with a "
+          "1 us measurement interval, plus the Reg-depth ablation",
+          "  --trials=400          Monte Carlo trials per point (env "
+          "QECOOL_TRIALS)\n"
+          "  --dmax=13             largest code distance\n"
+          "  --threads=1           worker threads (0 = all cores; env "
+          "QECOOL_THREADS)\n"
+          "  --csv=FILE            write the sweep CSV to FILE\n")) {
+    return 0;
+  }
   const int trials = static_cast<int>(qec::trials_override(args, 400));
   const int dmax = static_cast<int>(args.get_int_or("dmax", 13));
   const int threads = qec::threads_override(args, 1);

@@ -7,21 +7,23 @@
 // sweep shows how far K can shrink before lanes start dying, and how much
 // a backpressure-aware scheduler buys over a fixed rotation.
 //
-//   pool_scaling [--lanes=32] [--d=5] [--p=0.01] [--rounds=128]
-//                [--mhz=10,40,160] [--fractions=0.125,0.25,0.375,0.5,0.75,1]
-//                [--engines=K]            (overrides --fractions with one K)
-//                [--policies=round_robin,least_loaded] [--dispatch=1]
-//                [--seed=2021] [--threads=1] [--drain=1000]
-//                [--csv=pool_scaling.csv]
+// Every cell also carries its *watts*: the modelled ERSFQ dissipation of
+// the K-engine pool at that clock (src/stream/admission.hpp), so the CSV
+// charts failed-lane fraction against power — how many lanes survive per
+// watt at each clock — not just against K/N. --budget-w=W caps every cell
+// at the largest K whose pool fits W (the Table V question, live), and
+// --admission=overflow,pause compares load shedding styles cell by cell.
 //
-// One trace is recorded per run and replayed through every (K, clock,
-// policy) cell, so cells differ only in the service configuration. The CSV
-// has one row per cell: failed-lane fraction, overflow/drain/logical
-// split, pool utilization, Jain fairness, and starved lane-rounds.
+// One trace is recorded per run and replayed through every (admission,
+// policy, K, clock) cell, so cells differ only in the service
+// configuration. The CSV has one row per cell: failed-lane fraction,
+// overflow/drain/logical split, pool watts, surviving lanes per watt,
+// pool utilization, Jain fairness, starved and paused lane-rounds.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -30,6 +32,7 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "qecool/online_runner.hpp"
+#include "stream/admission.hpp"
 #include "stream/scheduler.hpp"
 #include "stream/service.hpp"
 
@@ -44,6 +47,26 @@ std::vector<std::string> split_list(const std::string& text) {
     if (end > start) items.push_back(text.substr(start, end - start));
     if (comma == std::string::npos) break;
     start = comma + 1;
+  }
+  return items;
+}
+
+/// Splits a comma-separated list of *specs*, re-attaching option
+/// fragments to their spec: "overflow,pause:high=6,low=2" is the two
+/// specs {"overflow", "pause:high=6,low=2"}, not four items. A fragment
+/// that contains '=' but no ':' can only be a key=value option of the
+/// previous spec (names never contain '='; a new spec with options
+/// carries its own ':').
+std::vector<std::string> split_specs(const std::string& text) {
+  std::vector<std::string> items;
+  for (auto& piece : split_list(text)) {
+    const bool option_fragment = piece.find('=') != std::string::npos &&
+                                 piece.find(':') == std::string::npos;
+    if (option_fragment && !items.empty()) {
+      items.back() += "," + piece;
+    } else {
+      items.push_back(std::move(piece));
+    }
   }
   return items;
 }
@@ -72,10 +95,34 @@ std::string fmt(double value, const char* spec = "%.4g") {
   return buffer;
 }
 
+constexpr const char* kSummary =
+    "sweep the shared decoder pool over K/N x clock x policy x admission "
+    "and chart failed-lane fraction against modelled pool watts";
+
+constexpr const char* kOptions =
+    "  --lanes=32            concurrent logical-qubit streams (N)\n"
+    "  --d=5                 code distance\n"
+    "  --p=0.01              physical error rate (p_data = p_meas)\n"
+    "  --rounds=128          noisy rounds per lane\n"
+    "  --mhz=10,40,160       decoder clocks to sweep (MHz, list)\n"
+    "  --fractions=...       K/N grid (default 0.125,0.25,0.375,0.5,0.75,1)\n"
+    "  --engines=K           sweep a single pool size instead of --fractions\n"
+    "  --policies=round_robin,least_loaded   scheduling policies (list)\n"
+    "  --admission=overflow  admission specs (list; e.g. overflow,pause)\n"
+    "  --budget-w=0          4-K power budget in watts; > 0 caps K per cell\n"
+    "  --dispatch=1          rounds per scheduling dispatch (static policies)\n"
+    "  --engine=qecool       lane engine spec\n"
+    "  --seed=2021           trace RNG seed\n"
+    "  --drain=1000          max drain rounds after the trace ends\n"
+    "  --threads=1           worker threads (0 = all cores; never changes "
+    "results)\n"
+    "  --csv=FILE            write the sweep CSV to FILE\n";
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(args, "pool_scaling", kSummary, kOptions)) return 0;
   qec::StreamConfig base;
   base.lanes = static_cast<int>(args.get_int_or("lanes", 32));
   base.distance = static_cast<int>(args.get_int_or("d", 5));
@@ -85,6 +132,7 @@ int main(int argc, char** argv) {
   base.engine = args.get_or("engine", "qecool");
   base.max_drain_rounds = static_cast<int>(args.get_int_or("drain", 1000));
   base.rounds_per_dispatch = static_cast<int>(args.get_int_or("dispatch", 1));
+  base.budget_w = args.get_double_or("budget-w", 0.0);
   base.threads = qec::threads_override(args, 1);
 
   qec::bench::print_header(
@@ -94,7 +142,8 @@ int main(int argc, char** argv) {
   try {
     const auto clocks_mhz = split_doubles(args.get_or("mhz", "10,40,160"));
     const auto policies =
-        split_list(args.get_or("policies", "round_robin,least_loaded"));
+        split_specs(args.get_or("policies", "round_robin,least_loaded"));
+    const auto admissions = split_specs(args.get_or("admission", "overflow"));
 
     // Pool sizes: a single --engines=K, or the K/N fraction grid.
     std::vector<int> pool_sizes;
@@ -109,8 +158,29 @@ int main(int argc, char** argv) {
       }
     }
 
-    // Validate every policy spec before the first (possibly long) cell.
+    // Validate every policy and admission spec — and the power budget's
+    // affordability at every clock — before the first (possibly long)
+    // cell, so nothing throws mid-sweep leaving a partial CSV.
     for (const auto& policy : policies) qec::make_scheduler_policy(policy);
+    for (const auto& admission : admissions) {
+      qec::parse_admission_spec(admission);
+    }
+    if (base.budget_w > 0) {
+      for (const double mhz : clocks_mhz) {
+        if (mhz <= 0) {
+          throw std::invalid_argument(
+              "--budget-w needs a positive clock; got --mhz=" + fmt(mhz));
+        }
+        if (qec::PoolPowerModel::max_engines(base.budget_w, base.distance,
+                                             mhz * 1e6) < 1) {
+          throw std::invalid_argument(
+              "--budget-w=" + fmt(base.budget_w, "%.6g") +
+              " cannot supply even one engine at d=" +
+              std::to_string(base.distance) + ", " + fmt(mhz, "%.6g") +
+              " MHz");
+        }
+      }
+    }
 
     const qec::SyndromeTrace trace = qec::record_trace(base);
     std::printf("trace: %d lanes, d=%d, %d rounds, p=%g, seed %llu\n\n",
@@ -119,50 +189,88 @@ int main(int argc, char** argv) {
 
     const std::string csv_path = args.get_or("csv", "");
     qec::CsvWriter csv(csv_path.empty() ? "/dev/null" : csv_path,
-                       {"policy", "lanes", "engines", "k_over_n", "mhz",
-                        "budget", "overflow_lanes", "undrained_lanes",
+                       {"policy", "admission", "lanes", "engines", "k_over_n",
+                        "mhz", "budget", "watts", "budget_w",
+                        "overflow_lanes", "undrained_lanes",
                         "logical_failures", "failed_lanes", "failed_frac",
-                        "utilization", "fairness", "starved_rounds"});
+                        "surviving_lanes", "lanes_per_watt", "utilization",
+                        "fairness", "starved_rounds", "paused_rounds"});
 
-    qec::TextTable table({"policy", "K/N", "mhz", "failed", "overflow",
-                          "fairness", "starved", "util"});
+    qec::TextTable table({"policy", "admission", "K/N", "mhz", "watts",
+                          "failed", "overflow", "paused", "fairness", "util"});
     const auto start = std::chrono::steady_clock::now();
-    for (const auto& policy : policies) {
-      for (const int engines : pool_sizes) {
-        for (const double mhz : clocks_mhz) {
-          qec::StreamConfig config = base;
-          config.policy = policy;
-          config.engines = engines;
-          config.cycles_per_round = qec::cycles_per_microsecond(mhz * 1e6);
-          const qec::StreamOutcome outcome = qec::run_stream(trace, config);
+    // With --budget-w, several requested K collapse onto the same
+    // power-capped pool; run each distinct (admission, policy, clock, K)
+    // cell once instead of re-recording identical rows.
+    std::set<std::string> seen;
+    int capped_cells = 0;
+    for (const auto& admission : admissions) {
+      for (const auto& policy : policies) {
+        for (const int engines : pool_sizes) {
+          for (const double mhz : clocks_mhz) {
+            int k = engines;
+            if (base.budget_w > 0) {
+              const int fit = qec::PoolPowerModel::max_engines(
+                  base.budget_w, base.distance, mhz * 1e6);
+              if (fit < k) {
+                k = fit;
+                ++capped_cells;
+              }
+            }
+            if (!seen.insert(admission + "|" + policy + "|" + fmt(mhz, "%.9g") +
+                             "|" + std::to_string(k))
+                     .second) {
+              continue;
+            }
+            qec::StreamConfig config = base;
+            config.policy = policy;
+            config.admission = admission;
+            config.engines = engines;
+            config.cycles_per_round = qec::cycles_per_microsecond(mhz * 1e6);
+            const qec::StreamOutcome outcome = qec::run_stream(trace, config);
 
-          const auto all = outcome.telemetry.aggregate();
-          const double util = outcome.telemetry.pool_utilization();
-          const double k_over_n =
-              static_cast<double>(engines) / static_cast<double>(outcome.lanes);
-          const double failed_frac = static_cast<double>(outcome.failed_lanes) /
-                                     static_cast<double>(outcome.lanes);
-          const int undrained = static_cast<int>(outcome.telemetry.lanes.size()) -
-                                outcome.drained_lanes - outcome.overflow_lanes;
-          const double fairness = outcome.telemetry.fairness_index();
+            // run_stream may have shed K to fit --budget-w; chart what ran.
+            const int ran_engines = outcome.telemetry.engines;
+            const double watts = outcome.telemetry.watts;
+            const auto all = outcome.telemetry.aggregate();
+            const double util = outcome.telemetry.pool_utilization();
+            const double k_over_n = static_cast<double>(ran_engines) /
+                                    static_cast<double>(outcome.lanes);
+            const double failed_frac =
+                static_cast<double>(outcome.failed_lanes) /
+                static_cast<double>(outcome.lanes);
+            const int surviving = outcome.lanes - outcome.failed_lanes;
+            const double lanes_per_watt =
+                watts > 0 ? static_cast<double>(surviving) / watts : 0.0;
+            const int undrained =
+                static_cast<int>(outcome.telemetry.lanes.size()) -
+                outcome.drained_lanes - outcome.overflow_lanes;
+            const double fairness = outcome.telemetry.fairness_index();
 
-          if (csv.ok()) {
-            csv.add_row({policy, std::to_string(outcome.lanes),
-                         std::to_string(engines), fmt(k_over_n),
-                         fmt(mhz, "%.6g"), fmt(config.cycles_per_round, "%.6g"),
-                         std::to_string(outcome.overflow_lanes),
-                         std::to_string(undrained),
-                         std::to_string(outcome.logical_failures),
-                         std::to_string(outcome.failed_lanes),
-                         fmt(failed_frac), fmt(util), fmt(fairness),
-                         std::to_string(all.starved_rounds)});
-            csv.flush();
+            if (csv.ok()) {
+              csv.add_row(
+                  {policy, admission, std::to_string(outcome.lanes),
+                   std::to_string(ran_engines), fmt(k_over_n),
+                   fmt(mhz, "%.6g"), fmt(config.cycles_per_round, "%.6g"),
+                   fmt(watts, "%.6g"), fmt(base.budget_w, "%.6g"),
+                   std::to_string(outcome.overflow_lanes),
+                   std::to_string(undrained),
+                   std::to_string(outcome.logical_failures),
+                   std::to_string(outcome.failed_lanes), fmt(failed_frac),
+                   std::to_string(surviving), fmt(lanes_per_watt, "%.6g"),
+                   fmt(util), fmt(fairness),
+                   std::to_string(all.starved_rounds),
+                   std::to_string(all.paused_rounds)});
+              csv.flush();
+            }
+            table.add_row({policy, admission, fmt(k_over_n),
+                           fmt(mhz, "%.6g"), fmt(watts, "%.3g"),
+                           std::to_string(outcome.failed_lanes) + "/" +
+                               std::to_string(outcome.lanes),
+                           std::to_string(outcome.overflow_lanes),
+                           std::to_string(all.paused_rounds), fmt(fairness),
+                           fmt(util)});
           }
-          table.add_row({policy, fmt(k_over_n), fmt(mhz, "%.6g"),
-                         std::to_string(outcome.failed_lanes) + "/" +
-                             std::to_string(outcome.lanes),
-                         std::to_string(outcome.overflow_lanes), fmt(fairness),
-                         std::to_string(all.starved_rounds), fmt(util)});
         }
       }
     }
@@ -170,6 +278,11 @@ int main(int argc, char** argv) {
                           std::chrono::steady_clock::now() - start)
                           .count();
     table.print();
+    if (capped_cells > 0) {
+      std::printf("\n--budget-w=%g capped %d cell(s); duplicate capped cells "
+                  "run once\n",
+                  base.budget_w, capped_cells);
+    }
     std::printf("\nwall-clock %.1f ms (--threads=%d, --dispatch=%d)\n", ms,
                 base.threads, base.rounds_per_dispatch);
     if (!csv_path.empty()) {

@@ -4,17 +4,13 @@
 // keep-up question: at a given clock and hardware budget, how many of N
 // concurrent streams survive a long run without Reg overflow?
 //
-//   stream_soak [--lanes=64] [--d=7] [--p=0.01] [--rounds=256] [--mhz=2000]
-//               [--engine=qecool] [--engines=0] [--policy=dedicated]
-//               [--dispatch=1] [--seed=2021] [--threads=1]
-//               [--csv=telemetry.csv] [--sched-csv=schedule.csv]
-//               [--timeline-csv=timeline.csv] [--trace-out=run.qtrc]
-//               [--trace-in=run.qtrc] [--drain=1000]
-//
 // --engines=K (0 = one per lane) sizes the pool and --policy picks the
 // lane scheduler (dedicated | round_robin | least_loaded). --dispatch=B
 // batches B rounds per parallel_for barrier for static policies — the
 // lane-scaling amortization; outcomes never change, only wall-clock.
+// --admission=pause swaps Reg-overflow lane death for graceful load
+// shedding (freeze + drain + re-admit) and --budget-w caps the pool at
+// the largest K that fits the 4-K power budget (see --help).
 //
 // With a fixed seed every CSV is byte-identical for any --threads value,
 // and a run replayed from --trace-in reproduces the recorded run's
@@ -26,11 +22,45 @@
 #include "common/table.hpp"
 #include "decoder/registry.hpp"
 #include "qecool/online_runner.hpp"
+#include "stream/admission.hpp"
 #include "stream/scheduler.hpp"
 #include "stream/service.hpp"
 
+namespace {
+
+constexpr const char* kSummary =
+    "soak the streaming decode service: N concurrent on-line lanes served "
+    "by a shared pool of K QECOOL engines, with full telemetry CSVs";
+
+constexpr const char* kOptions =
+    "  --lanes=64            concurrent logical-qubit streams (N)\n"
+    "  --d=7                 code distance\n"
+    "  --p=0.01              physical error rate (p_data = p_meas)\n"
+    "  --rounds=256          noisy rounds per lane\n"
+    "  --mhz=2000            decoder clock in MHz (cycle budget per round)\n"
+    "  --engine=qecool       lane engine spec (e.g. qecool:reg_depth=4)\n"
+    "  --engines=0           pool size K (0 = one engine per lane)\n"
+    "  --policy=dedicated    scheduling policy (dedicated | round_robin |\n"
+    "                        least_loaded, with options like decoder specs)\n"
+    "  --admission=overflow  admission control (overflow | pause |\n"
+    "                        pause:high=H,low=L)\n"
+    "  --budget-w=0          4-K power budget in watts; > 0 caps K\n"
+    "  --dispatch=1          rounds per scheduling dispatch (static policies)\n"
+    "  --seed=2021           trace RNG seed\n"
+    "  --drain=1000          max drain rounds after the trace ends\n"
+    "  --threads=1           worker threads (0 = all cores; never changes "
+    "results)\n"
+    "  --csv=FILE            per-lane telemetry CSV\n"
+    "  --sched-csv=FILE      per-engine / per-lane scheduling report CSV\n"
+    "  --timeline-csv=FILE   per-round aggregate depth timeline CSV\n"
+    "  --trace-out=FILE      save the recorded syndrome trace ('QTRC')\n"
+    "  --trace-in=FILE       replay a previously recorded trace\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(args, "stream_soak", kSummary, kOptions)) return 0;
   qec::StreamConfig config;
   config.lanes = static_cast<int>(args.get_int_or("lanes", 64));
   config.distance = static_cast<int>(args.get_int_or("d", 7));
@@ -43,6 +73,8 @@ int main(int argc, char** argv) {
   config.max_drain_rounds = static_cast<int>(args.get_int_or("drain", 1000));
   config.engines = static_cast<int>(args.get_int_or("engines", 0));
   config.policy = args.get_or("policy", "dedicated");
+  config.admission = args.get_or("admission", "overflow");
+  config.budget_w = args.get_double_or("budget-w", 0.0);
   config.rounds_per_dispatch = static_cast<int>(args.get_int_or("dispatch", 1));
   config.threads = qec::threads_override(args, 1);
 
@@ -51,10 +83,11 @@ int main(int argc, char** argv) {
       "Fig 7 scaled out — per-lane overflow/drain under sustained load");
 
   try {
-    // Validate the engine and policy specs before recording a trace, so a
-    // typo costs nothing.
+    // Validate the engine, policy, and admission specs before recording a
+    // trace, so a typo costs nothing.
     qec::online_engine_config(config.engine);
     qec::make_scheduler_policy(config.policy);
+    qec::parse_admission_spec(config.admission);
 
     qec::SyndromeTrace trace;
     const std::string trace_in = args.get_or("trace-in", "");
@@ -85,6 +118,14 @@ int main(int argc, char** argv) {
     table.add_row({"pool engines / policy",
                    std::to_string(outcome.telemetry.engines) + " / " +
                        config.policy});
+    table.add_row({"admission", config.admission});
+    if (outcome.telemetry.watts > 0) {
+      std::string watts = qec::TextTable::fmt(outcome.telemetry.watts * 1e6, 3) + " uW";
+      if (config.budget_w > 0) {
+        watts += " of " + qec::TextTable::fmt(config.budget_w * 1e6, 3) + " uW";
+      }
+      table.add_row({"pool power (ERSFQ model)", watts});
+    }
     table.add_row({"rounds / dispatch",
                    std::to_string(config.rounds_per_dispatch)});
     table.add_row({"rounds streamed / lane", std::to_string(trace.rounds())});
@@ -104,6 +145,9 @@ int main(int argc, char** argv) {
                    qec::TextTable::fmt(all.mean_depth(), 3) + " / " +
                        std::to_string(all.max_depth())});
     table.add_row({"starved lane-rounds", std::to_string(all.starved_rounds)});
+    table.add_row({"paused lane-rounds / lanes",
+                   std::to_string(all.paused_rounds) + " / " +
+                       std::to_string(outcome.telemetry.ever_paused_lanes())});
     table.add_row({"service fairness (Jain)",
                    qec::TextTable::fmt(outcome.telemetry.fairness_index(), 4)});
     table.add_row({"total working cycles", std::to_string(all.total_cycles)});

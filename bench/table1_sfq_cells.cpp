@@ -6,7 +6,14 @@
 #include "common/table.hpp"
 #include "sfq/cell_library.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(args, "table1_sfq_cells",
+                       "Table I: summary of the SFQ logic cells (JJs, bias, "
+                       "area, latency) from the AIST ADP cell library",
+                       "")) {
+    return 0;
+  }
   qec::bench::print_header("Table I: summary of SFQ logic elements",
                            "Table I (AIST 10-kA/cm^2 ADP cell library)");
   qec::TextTable table(

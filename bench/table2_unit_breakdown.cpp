@@ -8,7 +8,14 @@
 #include "sfq/power.hpp"
 #include "sfq/unit_netlist.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(args, "table2_unit_breakdown",
+                       "Table II: logic elements, JJs, area and bias current "
+                       "per Unit module",
+                       "")) {
+    return 0;
+  }
   qec::bench::print_header(
       "Table II: logic elements / JJs / area / bias per Unit module",
       "Table II and Fig 6");

@@ -14,6 +14,17 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "table3_execution_cycles",
+          "Table III: per-layer execution cycles of on-line QECOOL "
+          "(max / avg / sigma) over d and p, unconstrained budget",
+          "  --trials=200          Monte Carlo trials per point (env "
+          "QECOOL_TRIALS)\n"
+          "  --threads=1           worker threads (0 = all cores; env "
+          "QECOOL_THREADS)\n"
+          "  --csv=FILE            write the table CSV to FILE\n")) {
+    return 0;
+  }
   const int trials = static_cast<int>(qec::trials_override(args, 200));
 
   qec::bench::print_header("Table III: per-layer execution cycles of QECOOL",

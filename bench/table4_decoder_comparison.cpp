@@ -51,6 +51,16 @@ std::string fmt_th(const std::optional<double>& th) {
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "table4_decoder_comparison",
+          "Table IV: decoder accuracy thresholds (2-D and 3-D) for MWPM, "
+          "UF, AQEC and QECOOL, plus the hop-limit ablation",
+          "  --trials=1500         Monte Carlo trials per point (env "
+          "QECOOL_TRIALS)\n"
+          "  --threads=1           worker threads (0 = all cores; env "
+          "QECOOL_THREADS)\n")) {
+    return 0;
+  }
   const int trials = static_cast<int>(qec::trials_override(args, 1500));
   const int threads = qec::threads_override(args, 1);
 

@@ -20,6 +20,15 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "table5_aqec_comparison",
+          "Table V: AQEC vs QECOOL at d = 9 — thresholds, execution time, "
+          "power per Unit, and protectable logical qubits in 1 W",
+          "  --trials=400          Monte Carlo trials (env QECOOL_TRIALS)\n"
+          "  --threads=1           worker threads (0 = all cores; env "
+          "QECOOL_THREADS)\n")) {
+    return 0;
+  }
   const int trials = static_cast<int>(qec::trials_override(args, 400));
   const int d = 9;
   const double freq = 2e9;

@@ -15,6 +15,16 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "online_memory",
+          "run one on-line memory experiment and print the per-round "
+          "queue/decoding story at a given decoder clock",
+          "  --d=5                 code distance\n"
+          "  --p=0.02              physical error rate\n"
+          "  --ghz=2.0             decoder clock in GHz\n"
+          "  --seed=7              RNG seed\n")) {
+    return 0;
+  }
   const int d = static_cast<int>(args.get_int_or("d", 5));
   const double p = args.get_double_or("p", 0.02);
   const std::uint64_t seed =

@@ -14,6 +14,16 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "power_budget",
+          "how many logical qubits fit the 4-K-stage power budget at each "
+          "code distance (the Table V question, generalized)",
+          "  --budget=1.0          4-K power budget in watts\n"
+          "  --ghz=2.0             decoder clock in GHz\n"
+          "  --dmin=5              smallest code distance\n"
+          "  --dmax=13             largest code distance\n")) {
+    return 0;
+  }
   const double budget = args.get_double_or("budget", qec::kFourKelvinBudgetW);
   const double ghz = args.get_double_or("ghz", 2.0);
   const int dmin = static_cast<int>(args.get_int_or("dmin", 5));

@@ -15,6 +15,16 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "quickstart",
+          "smallest end-to-end run: sample a memory experiment, decode it "
+          "with batch and on-line QECOOL, and report the outcome",
+          "  --d=5                 code distance\n"
+          "  --p=0.003             physical error rate\n"
+          "  --ghz=2.0             decoder clock in GHz\n"
+          "  --trials=2000         Monte Carlo trials (env QECOOL_TRIALS)\n")) {
+    return 0;
+  }
   const int d = static_cast<int>(args.get_int_or("d", 5));
   const double p = args.get_double_or("p", 0.003);
   const int trials = static_cast<int>(qec::trials_override(args, 2000));

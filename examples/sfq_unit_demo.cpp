@@ -6,12 +6,21 @@
 //   ./sfq_unit_demo
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "sfq/budget.hpp"
 #include "sfq/power.hpp"
 #include "sfq/pulse_sim.hpp"
 #include "sfq/unit_netlist.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(args, "sfq_unit_demo",
+                       "build the Unit's race-logic priority arbiter from "
+                       "Table I cells and race spikes through it, then "
+                       "report the Unit's physical budget",
+                       "")) {
+    return 0;
+  }
   std::printf("-- race-logic prioritization (Section IV-B) --\n");
   static const char* kPortNames[4] = {"West", "East", "North", "South"};
 

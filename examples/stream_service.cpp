@@ -21,8 +21,34 @@
 #include "qecool/online_runner.hpp"
 #include "stream/service.hpp"
 
+namespace {
+
+constexpr const char* kSummary =
+    "walk through the streaming decode service: record or replay a "
+    "multi-lane syndrome trace and print one telemetry row per lane";
+
+constexpr const char* kOptions =
+    "  --lanes=8             concurrent logical-qubit streams\n"
+    "  --d=5                 code distance\n"
+    "  --p=0.01              physical error rate (p_data = p_meas)\n"
+    "  --rounds=32           noisy rounds per lane\n"
+    "  --mhz=1000            decoder clock in MHz\n"
+    "  --engine=qecool       lane engine spec\n"
+    "  --engines=0           pool size K (0 = one engine per lane)\n"
+    "  --policy=dedicated    scheduling policy\n"
+    "  --admission=overflow  admission control (overflow | pause)\n"
+    "  --budget-w=0          4-K power budget in watts; > 0 caps K\n"
+    "  --seed=7              trace RNG seed\n"
+    "  --threads=1           worker threads (0 = all cores)\n"
+    "  --trace-out=FILE      save the recorded trace\n"
+    "  --trace-in=FILE       replay a previously recorded trace\n"
+    "  --csv=FILE            per-lane telemetry CSV\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(args, "stream_service", kSummary, kOptions)) return 0;
   qec::StreamConfig config;
   config.lanes = static_cast<int>(args.get_int_or("lanes", 8));
   config.distance = static_cast<int>(args.get_int_or("d", 5));
@@ -34,6 +60,8 @@ int main(int argc, char** argv) {
       qec::cycles_per_microsecond(args.get_double_or("mhz", 1000.0) * 1e6);
   config.engines = static_cast<int>(args.get_int_or("engines", 0));
   config.policy = args.get_or("policy", "dedicated");
+  config.admission = args.get_or("admission", "overflow");
+  config.budget_w = args.get_double_or("budget-w", 0.0);
   config.threads = qec::threads_override(args, 1);
 
   try {
@@ -56,7 +84,7 @@ int main(int argc, char** argv) {
                 outcome.telemetry.engines, config.policy.c_str());
 
     qec::TextTable table({"lane", "outcome", "drain rounds", "popped",
-                          "served/starved", "cycles p50/p99",
+                          "served/starved/paused", "cycles p50/p99",
                           "depth mean/max"});
     for (const auto& lane : outcome.telemetry.lanes) {
       const char* verdict = lane.overflow          ? "OVERFLOW"
@@ -67,7 +95,8 @@ int main(int argc, char** argv) {
                      std::to_string(lane.drain_rounds),
                      std::to_string(lane.popped_layers),
                      std::to_string(lane.served_rounds) + " / " +
-                         std::to_string(lane.starved_rounds),
+                         std::to_string(lane.starved_rounds) + " / " +
+                         std::to_string(lane.paused_rounds),
                      std::to_string(lane.cycle_percentile(50)) + " / " +
                          std::to_string(lane.cycle_percentile(99)),
                      qec::TextTable::fmt(lane.mean_depth(), 2) + " / " +

@@ -19,6 +19,23 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "threshold_sweep",
+          "sweep any registered decoder over the (p, d) threshold grid and "
+          "print / CSV the logical error rates",
+          "  --decoder=qecool      decoder spec (see decoder registry)\n"
+          "  --mode=3d             noise mode: 3d (phenomenological) or 2d\n"
+          "  --dmin=5 --dmax=9     code-distance range\n"
+          "  --pmin/--pmax         physical error-rate range (mode-dependent "
+          "defaults)\n"
+          "  --points=7            grid points between pmin and pmax\n"
+          "  --trials=500          Monte Carlo trials per point (env "
+          "QECOOL_TRIALS)\n"
+          "  --threads=1           worker threads (0 = all cores; env "
+          "QECOOL_THREADS)\n"
+          "  --csv=FILE            write the sweep CSV to FILE\n")) {
+    return 0;
+  }
   const std::string spec = args.get_or("decoder", "qecool");
   const bool three_d = args.get_or("mode", "3d") == "3d";
   const int dmin = static_cast<int>(args.get_int_or("dmin", 5));

@@ -16,6 +16,16 @@
 
 int main(int argc, char** argv) {
   const qec::CliArgs args(argc, argv);
+  if (qec::handle_help(
+          args, "visualize_decode",
+          "ASCII-render one decode: the sampled errors, the syndrome, and "
+          "the decoder's correction on the planar lattice",
+          "  --d=5                 code distance\n"
+          "  --p=0.06              physical error rate\n"
+          "  --seed=3              RNG seed\n"
+          "  --trials=1            decodes to render (env QECOOL_TRIALS)\n")) {
+    return 0;
+  }
   const int d = static_cast<int>(args.get_int_or("d", 5));
   const double p = args.get_double_or("p", 0.06);
   const std::uint64_t seed =

@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace qec {
@@ -73,6 +74,27 @@ std::string CliArgs::get_or(std::string_view name,
                             std::string_view fallback) const {
   const auto v = get(name);
   return v ? *v : std::string(fallback);
+}
+
+void print_usage(const char* program, const char* summary,
+                 const char* options) {
+  std::printf("usage: %s [options]\n  %s\n", program, summary);
+  std::printf("\noptions:\n%s", options);
+  std::printf("  --help                show this message and exit\n");
+}
+
+bool wants_help(const CliArgs& args) {
+  if (args.get_flag("help")) return true;
+  const auto& positional = args.positional();
+  return !positional.empty() &&
+         (positional.front() == "-h" || positional.front() == "help");
+}
+
+bool handle_help(const CliArgs& args, const char* program,
+                 const char* summary, const char* options) {
+  if (!wants_help(args)) return false;
+  print_usage(program, summary, options);
+  return true;
 }
 
 std::int64_t trials_override(const CliArgs& args, std::int64_t fallback) {

@@ -36,6 +36,30 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Prints the uniform usage banner every bench/example binary shares:
+///
+///   usage: <program> [options]
+///     <summary>
+///
+///   options:
+///   <options>
+///
+/// `options` lists one "  --flag=default   description" line per flag
+/// (pass "" for binaries without flags beyond --help). Keeping the format
+/// in one place is what keeps `--help` output consistent across all of
+/// them.
+void print_usage(const char* program, const char* summary,
+                 const char* options);
+
+/// True when the user asked for help (--help, or -h / help as the first
+/// positional argument). Binaries call print_usage and exit 0 when set.
+bool wants_help(const CliArgs& args);
+
+/// wants_help + print_usage in one call — the line every main() starts
+/// with: `if (qec::handle_help(args, "name", kSummary, kOptions)) return 0;`
+bool handle_help(const CliArgs& args, const char* program,
+                 const char* summary, const char* options);
+
 /// Reads trial-count override from --trials or env QECOOL_TRIALS, falling
 /// back to `fallback`. Shared by every bench binary.
 std::int64_t trials_override(const CliArgs& args, std::int64_t fallback);

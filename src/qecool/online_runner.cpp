@@ -1,5 +1,7 @@
 #include "qecool/online_runner.hpp"
 
+#include <stdexcept>
+
 namespace qec {
 
 OnlineStepper::OnlineStepper(const PlanarLattice& lattice,
@@ -9,6 +11,10 @@ OnlineStepper::OnlineStepper(const PlanarLattice& lattice,
       per_round_(config.cycles_per_round) {}
 
 bool OnlineStepper::push(const BitVec& layer) {
+  if (paused_) {
+    throw std::logic_error(
+        "online stepper: push() while paused — resume() first");
+  }
   if (overflow_) return false;
   if (!engine_.push_layer(layer)) {
     overflow_ = true;
@@ -35,6 +41,30 @@ bool OnlineStepper::step(const BitVec& layer) {
   if (!push(layer)) return false;
   spend(per_round_);
   return true;
+}
+
+StepperCheckpoint OnlineStepper::checkpoint() {
+  if (paused_) {
+    throw std::logic_error("online stepper: checkpoint() while paused");
+  }
+  if (overflow_) {
+    throw std::logic_error("online stepper: checkpoint() after overflow");
+  }
+  paused_ = true;
+  StepperCheckpoint cp;
+  cp.correction = engine_.correction();
+  cp.rounds_accepted = rounds_;
+  cp.stored_layers = engine_.stored_layers();
+  cp.popped_layers = engine_.popped_layers();
+  cp.total_cycles = engine_.total_cycles();
+  return cp;
+}
+
+void OnlineStepper::resume() {
+  if (!paused_) {
+    throw std::logic_error("online stepper: resume() without checkpoint()");
+  }
+  paused_ = false;
 }
 
 OnlineResult OnlineStepper::result() const {

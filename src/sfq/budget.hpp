@@ -10,11 +10,14 @@ namespace qec {
 /// 4-K stage budget assumed by the paper.
 inline constexpr double kFourKelvinBudgetW = 1.0;
 
+/// One decoder technology's power story: watts per Unit and Units per
+/// logical qubit, from which Table V's "protectable qubits" follows.
 struct DecoderDeployment {
   std::string name;
-  double power_per_unit_w = 0.0;
-  long long units_per_logical_qubit = 0;
+  double power_per_unit_w = 0.0;           ///< dissipation of one Unit [W]
+  long long units_per_logical_qubit = 0;   ///< decoder Units per patch
 
+  /// Watts needed to protect one logical qubit.
   double power_per_logical_qubit_w() const {
     return power_per_unit_w * static_cast<double>(units_per_logical_qubit);
   }

@@ -9,19 +9,22 @@
 
 namespace qec {
 
+/// The seven SFQ logic cells of Table I, in table order.
 enum class SfqCell : std::uint8_t {
   Splitter,
   Merger,
-  Switch12,  // 1:2 switch
-  Dro,       // destructive readout
-  Ndro,      // nondestructive readout
-  ResettableDro,
-  DualOutputDro,
+  Switch12,       ///< 1:2 switch
+  Dro,            ///< destructive readout
+  Ndro,           ///< nondestructive readout
+  ResettableDro,  ///< DRO with reset (RD)
+  DualOutputDro,  ///< dual-output DRO (D2)
   kCount,
 };
 
+/// Number of distinct cells in Table I.
 inline constexpr int kSfqCellCount = static_cast<int>(SfqCell::kCount);
 
+/// One Table I row: the published physical budget of a standard cell.
 struct SfqCellSpec {
   std::string_view name;
   int jjs = 0;              ///< Josephson junctions
@@ -36,8 +39,9 @@ const SfqCellSpec& cell_spec(SfqCell cell);
 /// All cells in Table I order.
 const std::array<SfqCellSpec, kSfqCellCount>& cell_table();
 
-// Physical constants of Section V-C.
-inline constexpr double kFluxQuantumWb = 2.068e-15;  ///< magnetic flux quantum
-inline constexpr double kRsfqSupplyV = 2.5e-3;       ///< designed bias voltage
+/// Magnetic flux quantum Phi0 [Wb] (Section V-C power model).
+inline constexpr double kFluxQuantumWb = 2.068e-15;
+/// Designed RSFQ bias supply voltage [V] (Section V-C power model).
+inline constexpr double kRsfqSupplyV = 2.5e-3;
 
 }  // namespace qec

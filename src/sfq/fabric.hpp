@@ -10,23 +10,26 @@
 
 namespace qec {
 
+/// What to build: a decoder fabric protecting `logical_qubits` patches of
+/// code distance `distance`, clocked at `freq_hz`.
 struct FabricConfig {
-  int logical_qubits = 1;
-  int distance = 9;
-  double freq_hz = 2e9;
+  int logical_qubits = 1;  ///< surface-code patches to protect
+  int distance = 9;        ///< code distance of every patch
+  double freq_hz = 2e9;    ///< decoder clock (ERSFQ dynamic power scales with it)
 };
 
+/// Bill of materials and physical budget of one decoder fabric.
 struct FabricReport {
   long long units = 0;            ///< decoder Units, both error sectors
   long long row_masters = 0;      ///< one per row per sector per qubit
   long long controllers = 0;      ///< one per sector per logical qubit
   long long boundary_units = 0;   ///< two per sector per logical qubit
   long long total_jjs = 0;        ///< Units only (controllers are small)
-  double area_mm2 = 0.0;
-  double ersfq_power_w = 0.0;
-  double rsfq_power_w = 0.0;
-  long long physical_data_qubits = 0;
-  long long physical_ancilla_qubits = 0;
+  double area_mm2 = 0.0;          ///< Unit layout area, both sectors
+  double ersfq_power_w = 0.0;     ///< dynamic power at FabricConfig::freq_hz
+  double rsfq_power_w = 0.0;      ///< static bias power (RSFQ technology)
+  long long physical_data_qubits = 0;     ///< data qubits protected
+  long long physical_ancilla_qubits = 0;  ///< ancilla (check) qubits read out
 
   /// Fits the given 4-K power budget?
   bool fits_power(double budget_w) const { return ersfq_power_w <= budget_w; }

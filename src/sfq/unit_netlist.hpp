@@ -18,36 +18,41 @@
 
 namespace qec {
 
+/// The six functional modules of one Unit (Table II columns / Fig 6).
 enum class UnitModule : std::uint8_t {
   StateMachine,
   Prioritization,
-  BasePointer,  // 7-bit Reg + base pointer
+  BasePointer,  ///< 7-bit Reg + base pointer
   SpikeOut,
   SyndromeOut,
   Other,
   kCount,
 };
 
+/// Number of Unit modules in Table II.
 inline constexpr int kUnitModuleCount = static_cast<int>(UnitModule::kCount);
 
+/// Cell-level netlist and published budgets of one Unit module.
 struct ModuleNetlist {
   std::string_view name;
   /// Cell instance counts in Table I order (splitter..D2).
   std::array<int, kSfqCellCount> cells{};
-  int wire_jjs = 0;
+  int wire_jjs = 0;  ///< JJs in wiring (JTLs) not attributed to a cell
 
   /// Published per-module budgets (Table II).
   int published_jjs = 0;
   double published_area_um2 = 0.0;
   double published_bias_ma = 0.0;
-  double published_latency_ps = 0.0;  // 0 where the paper leaves it blank
+  double published_latency_ps = 0.0;  ///< 0 where the paper leaves it blank
 
   /// Bottom-up JJ count: cell instances x JJs/cell + wire JJs.
   int derived_jjs() const;
   /// Bottom-up bias current from cell specs only (wire bias excluded; the
   /// paper does not publish a per-wire-JJ bias figure).
   double derived_cell_bias_ma() const;
+  /// Bottom-up layout area from cell specs only.
   double derived_cell_area_um2() const;
+  /// Total cell instances across all Table I cell kinds.
   int total_cell_instances() const;
 };
 
@@ -56,12 +61,13 @@ const std::array<ModuleNetlist, kUnitModuleCount>& unit_modules();
 
 /// Whole-Unit published budgets (Table II "Total" column).
 struct UnitBudget {
-  int jjs = 3177;
-  double area_um2 = 1274400.0;  // 1.274 mm^2 (Fig 6: 1770 um x 720 um)
-  double bias_ma = 336.0;
-  double critical_path_ps = 215.0;
+  int jjs = 3177;               ///< Josephson junctions per Unit
+  double area_um2 = 1274400.0;  ///< 1.274 mm^2 (Fig 6: 1770 um x 720 um)
+  double bias_ma = 336.0;       ///< total bias current [mA]
+  double critical_path_ps = 215.0;  ///< longest combinational path [ps]
 };
 
+/// The published whole-Unit budget (Table II "Total" column).
 UnitBudget unit_budget();
 
 /// Maximum clock frequency implied by the critical path (about 5 GHz less

@@ -1,0 +1,94 @@
+#include "stream/admission.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "decoder/registry.hpp"
+#include "sfq/budget.hpp"
+
+namespace qec {
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("admission spec: " + what);
+}
+
+/// DecoderOptions has no "was this key given" query; an implausible
+/// fallback distinguishes an absent key from an explicit value, so a
+/// typo like high=0 or low=-2 fails loudly instead of silently selecting
+/// the automatic watermark.
+constexpr int kAbsent = std::numeric_limits<int>::min();
+
+}  // namespace
+
+AdmissionConfig parse_admission_spec(std::string_view spec) {
+  const auto colon = spec.find(':');
+  const std::string_view name = spec.substr(0, colon);
+  const DecoderOptions options = DecoderOptions::parse(
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1));
+
+  AdmissionConfig config;
+  if (name == "overflow") {
+    config.mode = AdmissionConfig::Mode::kOverflow;
+  } else if (name == "pause") {
+    config.mode = AdmissionConfig::Mode::kPause;
+    if (const int high = options.get_int("high", kAbsent); high != kAbsent) {
+      if (high < 1) bad_spec("high-water mark must be >= 1");
+      config.high_water = high;
+    }
+    if (const int low = options.get_int("low", kAbsent); low != kAbsent) {
+      if (low < 0) bad_spec("low-water mark must be >= 0");
+      config.low_water = low;
+    }
+  } else {
+    bad_spec("unknown mode '" + std::string(name) +
+             "' (expected overflow or pause)");
+  }
+  if (const auto leftover = options.unconsumed(); !leftover.empty()) {
+    bad_spec("mode '" + std::string(name) + "' does not understand '" +
+             leftover.front() + "'");
+  }
+  // Reject orderings that can never resolve, before reg_depth is known.
+  if (config.pause() && config.high_water > 0 && config.low_water >= 0 &&
+      config.low_water >= config.high_water) {
+    bad_spec("low-water mark must be below the high-water mark");
+  }
+  return config;
+}
+
+AdmissionConfig resolve_admission(const AdmissionConfig& config,
+                                  int reg_depth) {
+  AdmissionConfig resolved = config;
+  if (!resolved.pause()) return resolved;
+  if (resolved.high_water <= 0) resolved.high_water = reg_depth;
+  if (resolved.low_water < 0) resolved.low_water = reg_depth / 2;
+  if (resolved.high_water > reg_depth) {
+    bad_spec("high-water mark " + std::to_string(resolved.high_water) +
+             " exceeds reg_depth " + std::to_string(reg_depth));
+  }
+  if (resolved.low_water >= resolved.high_water) {
+    bad_spec("low-water mark must be below the high-water mark");
+  }
+  return resolved;
+}
+
+double PoolPowerModel::watts_per_engine() const {
+  return qecool_deployment(distance, freq_hz).power_per_logical_qubit_w();
+}
+
+double PoolPowerModel::watts() const {
+  return static_cast<double>(engines) * watts_per_engine();
+}
+
+int PoolPowerModel::max_engines(double budget_w, int distance,
+                                double freq_hz) {
+  const long long fit = qecool_deployment(distance, freq_hz)
+                            .protectable_logical_qubits(budget_w);
+  // A pool larger than any realistic lane count is indistinguishable from
+  // "unbounded"; clamp so callers can store the answer in an int.
+  constexpr long long kCap = 1 << 30;
+  return static_cast<int>(fit < 0 ? 0 : (fit > kCap ? kCap : fit));
+}
+
+}  // namespace qec

@@ -1,0 +1,98 @@
+// Power-aware admission control for the shared decoder-engine pool.
+//
+// The paper's headline constraint is the ~1 W 4-K-stage budget (Table V,
+// src/sfq/budget.hpp): the pool size K is ultimately a *watts* decision,
+// not a free integer. This header ties the two ends together:
+//
+//  - PoolPowerModel maps a pool spec (K engines, code distance, decoder
+//    clock) to dissipated watts through the ERSFQ power model of
+//    src/sfq/{power,budget} — the same per-Unit numbers behind Table V —
+//    and answers the inverse question: how many engines fit a budget.
+//
+//  - AdmissionConfig selects what happens to a lane whose Reg queues fill
+//    because the pool is over-subscribed. "overflow" (the default) keeps
+//    the PR 3 behaviour byte for byte: the next push overflows and the
+//    lane dies. "pause" is graceful load shedding: instead of pushing
+//    into a full queue, the admission controller freezes the lane's
+//    logical clock (OnlineStepper::checkpoint() — the accumulated patch
+//    is checkpointed and no further layers are admitted), lets the
+//    backlog drain through whatever engine service the lane receives,
+//    and re-admits it (OnlineStepper::resume()) once its queue depth
+//    falls to the low-water mark. Paused lanes are non-schedulable for
+//    state-aware policies (ScheduleView::paused); engines the policy
+//    leaves idle are granted to paused lanes, deepest queue first, so a
+//    paused lane always eventually drains and resumes.
+//
+// Both knobs ride StreamConfig: admission = "overflow" | "pause" |
+// "pause:high=6,low=2" (parsed exactly like decoder and policy specs),
+// and budget_w > 0 caps the pool at the largest K whose model watts fit
+// the budget. Everything here is deterministic: admission decisions are
+// made on the scheduling thread in lane order and depend only on
+// (trace, config), never on thread count. See DESIGN.md section 9.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace qec {
+
+/// What the streaming service does when a lane's Reg queues fill up.
+struct AdmissionConfig {
+  enum class Mode {
+    kOverflow,  ///< PR 3 behaviour: push into a full queue, lane dies.
+    kPause,     ///< freeze the lane's logical clock until the queue drains.
+  };
+
+  Mode mode = Mode::kOverflow;
+
+  /// Pause a lane whose pre-round queue depth is >= high_water (only
+  /// meaningful in kPause mode). 0 selects the automatic mark: the
+  /// engine's reg_depth, i.e. pause exactly when the next push would
+  /// overflow — pause mode then strictly dominates overflow mode.
+  int high_water = 0;
+
+  /// Re-admit a paused lane once its queue depth is <= low_water. -1
+  /// selects the automatic mark: reg_depth / 2. Must resolve to
+  /// 0 <= low_water < high_water <= reg_depth.
+  int low_water = -1;
+
+  bool pause() const { return mode == Mode::kPause; }
+};
+
+/// Parses an admission spec — "overflow", "pause", or
+/// "pause:high=H,low=L" — through the same option machinery as decoder
+/// and scheduler-policy specs. Throws std::invalid_argument for unknown
+/// modes, malformed option lists, options the mode does not understand
+/// ("overflow" takes none), or marks that cannot order (low >= high).
+AdmissionConfig parse_admission_spec(std::string_view spec);
+
+/// Resolves the automatic watermarks against the engine's actual
+/// reg_depth and validates 0 <= low < high <= reg_depth. Throws
+/// std::invalid_argument when the resolved marks are out of range.
+AdmissionConfig resolve_admission(const AdmissionConfig& config,
+                                  int reg_depth);
+
+/// Watts drawn by a pool of K streaming decoder engines. One engine
+/// serves one lane (logical qubit) at a time, so its hardware is one
+/// logical qubit's worth of QECOOL Units — the Table V deployment at
+/// this code distance — clocked at freq_hz in ERSFQ technology.
+struct PoolPowerModel {
+  int engines = 1;        ///< pool size K
+  int distance = 5;       ///< code distance of the served lattice
+  double freq_hz = 0.0;   ///< decoder clock (cycles_per_round / 1 us)
+
+  /// ERSFQ watts of one engine's Unit array (Table V per-qubit power).
+  double watts_per_engine() const;
+
+  /// Total pool dissipation: engines * watts_per_engine().
+  double watts() const;
+
+  /// Does the whole pool fit a 4-K-stage budget?
+  bool fits(double budget_w) const { return watts() <= budget_w; }
+
+  /// Largest K whose pool fits `budget_w` at this distance and clock
+  /// (0 when not even one engine fits). The inverse of watts().
+  static int max_engines(double budget_w, int distance, double freq_hz);
+};
+
+}  // namespace qec

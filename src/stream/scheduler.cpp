@@ -66,7 +66,7 @@ class LeastLoadedPolicy final : public SchedulerPolicy {
               std::vector<int>& assignment) override {
     ranked_.clear();
     for (int lane = 0; lane < view.lanes; ++lane) {
-      if (!view.finished[static_cast<std::size_t>(lane)]) ranked_.push_back(lane);
+      if (view.schedulable(lane)) ranked_.push_back(lane);
     }
     const auto takers =
         std::min<std::size_t>(ranked_.size(), static_cast<std::size_t>(view.engines));

@@ -48,6 +48,20 @@ struct ScheduleView {
   const int* depth = nullptr;
   /// Lane overflowed or drained — serving it wastes the engine (size lanes).
   const std::uint8_t* finished = nullptr;
+  /// Lane paused by admission control (admission=pause, size lanes) —
+  /// non-schedulable: its logical clock is frozen, so state-aware
+  /// policies must not spend an engine on it. The admission controller
+  /// itself grants engines the policy leaves idle to paused lanes so
+  /// their backlog drains. Null when admission control is off
+  /// (admission=overflow, the PR 3 behaviour).
+  const std::uint8_t* paused = nullptr;
+
+  /// True when the lane can usefully be scheduled this round: it is
+  /// neither finished nor paused by admission control.
+  bool schedulable(int lane) const {
+    const auto i = static_cast<std::size_t>(lane);
+    return !finished[i] && !(paused && paused[i]);
+  }
 };
 
 class SchedulerPolicy {

@@ -7,6 +7,7 @@
 #include "decoder/registry.hpp"
 #include "qecool/online_runner.hpp"
 #include "sim/executor.hpp"
+#include "stream/admission.hpp"
 #include "stream/scheduler.hpp"
 #include "surface_code/planar_lattice.hpp"
 
@@ -45,8 +46,20 @@ struct Lane {
 
   bool finished() const { return stepper.overflowed() || stepper.drained(); }
 
+  /// Finished test under admission control: a paused lane is never
+  /// finished (its clock is frozen mid-stream), and a lane with trace
+  /// layers still to consume is not done just because its queue drained.
+  bool finished_admission(int trace_rounds) const {
+    if (stepper.overflowed()) return true;
+    return !stepper.paused() && cursor >= trace_rounds && stepper.drained();
+  }
+
   OnlineStepper stepper;
   LaneTelemetry telemetry;
+
+  /// Next trace layer this lane will consume (admission pause mode: a
+  /// paused lane's cursor freezes while the global round marches on).
+  int cursor = 0;
 };
 
 /// Orchestrates the shared engine pool over one run: per dispatch it asks
@@ -58,10 +71,12 @@ struct Lane {
 class PoolScheduler {
  public:
   PoolScheduler(std::vector<Lane>& lanes, SchedulerPolicy& policy, int engines,
-                const StreamConfig& config, StreamTelemetry& telemetry)
+                const StreamConfig& config, const AdmissionConfig& admission,
+                StreamTelemetry& telemetry)
       : lanes_(lanes),
         policy_(policy),
         config_(config),
+        admission_(admission),
         telemetry_(telemetry),
         engines_(engines),
         batch_(policy.dynamic() ? 1
@@ -72,6 +87,7 @@ class PoolScheduler {
     }
     depth_.resize(lanes_.size());
     finished_.resize(lanes_.size());
+    paused_.resize(lanes_.size());
     assignment_.assign(static_cast<std::size_t>(engines_), -1);
   }
 
@@ -216,15 +232,205 @@ class PoolScheduler {
     }
   }
 
+  /// One admission-controlled round (admission=pause). Differs from
+  /// dispatch() in three ways: every lane consumes the trace through its
+  /// own cursor (a paused lane's logical clock freezes while the global
+  /// round marches on), the admission controller pauses and re-admits
+  /// lanes around the watermarks before the policy runs, and engines the
+  /// policy leaves idle (or points at finished lanes) are granted to
+  /// paused lanes, deepest queue first, so a paused backlog always
+  /// eventually drains. All decisions are made on the calling thread in
+  /// lane order — outcomes stay a pure function of (trace, config).
+  /// Returns false once every lane has finished.
+  bool dispatch_admission(std::int64_t round, const SyndromeTrace& trace) {
+    const int n = static_cast<int>(lanes_.size());
+    const int trace_rounds = trace.rounds();
+    grant_.assign(static_cast<std::size_t>(n), -1);
+    cycles_.assign(static_cast<std::size_t>(n), 0);
+    flags_.assign(static_cast<std::size_t>(n), 0);
+    depth_scratch_.assign(static_cast<std::size_t>(n), 0);
+
+    // Pre-round state and admission transitions, in lane order. A paused
+    // lane re-admits once its backlog reaches the low-water mark; an
+    // admitted lane at or above the high-water mark is paused instead of
+    // being allowed to push toward overflow.
+    bool any_unfinished = false;
+    for (int i = 0; i < n; ++i) {
+      Lane& lane = lanes_[static_cast<std::size_t>(i)];
+      const int depth = lane.stepper.engine().stored_layers();
+      depth_[static_cast<std::size_t>(i)] = depth;
+      bool finished = lane.finished_admission(trace_rounds);
+      if (!finished) {
+        if (lane.stepper.paused()) {
+          if (depth <= admission_.low_water) {
+            lane.stepper.resume();
+            ++lane.telemetry.resumes;
+            // A fully drained lane with no trace left finishes on resume.
+            finished = lane.finished_admission(trace_rounds);
+          }
+        } else if (depth >= admission_.high_water) {
+          // checkpoint() freezes the clock; the returned patch snapshot
+          // is the host-offload view, which the service itself does not
+          // need — tests exercise it directly.
+          (void)lane.stepper.checkpoint();
+          ++lane.telemetry.pauses;
+        }
+      }
+      finished_[static_cast<std::size_t>(i)] = finished ? 1 : 0;
+      paused_[static_cast<std::size_t>(i)] =
+          (!finished && lane.stepper.paused()) ? 1 : 0;
+      any_unfinished |= !finished;
+    }
+    if (!any_unfinished) return false;
+
+    // Policy assignment (paused lanes visible as non-schedulable).
+    ScheduleView view;
+    view.round = round;
+    view.lanes = n;
+    view.engines = engines_;
+    view.depth = depth_.data();
+    view.finished = finished_.data();
+    view.paused = paused_.data();
+    std::fill(assignment_.begin(), assignment_.end(), -1);
+    policy_.assign(view, assignment_);
+    assignments_.assign(static_cast<std::size_t>(engines_), -1);
+    for (int e = 0; e < engines_; ++e) {
+      const int lane = assignment_[static_cast<std::size_t>(e)];
+      assignments_[static_cast<std::size_t>(e)] = lane;
+      if (lane < 0) continue;
+      if (lane >= n) {
+        throw std::logic_error("stream: policy assigned engine " +
+                               std::to_string(e) + " to nonexistent lane " +
+                               std::to_string(lane));
+      }
+      auto& slot = grant_[static_cast<std::size_t>(lane)];
+      if (slot >= 0) {
+        throw std::logic_error("stream: policy assigned two engines to lane " +
+                               std::to_string(lane) + " in one round");
+      }
+      slot = e;
+    }
+
+    // Admission drain grants: engines left idle or pointed at finished
+    // lanes serve the paused lanes' backlogs, deepest first (lane-index
+    // ties) — deterministic, and independent of the policy in use.
+    drainable_.clear();
+    for (int i = 0; i < n; ++i) {
+      if (paused_[static_cast<std::size_t>(i)] &&
+          grant_[static_cast<std::size_t>(i)] < 0) {
+        drainable_.push_back(i);
+      }
+    }
+    std::sort(drainable_.begin(), drainable_.end(), [this](int a, int b) {
+      const int da = depth_[static_cast<std::size_t>(a)];
+      const int db = depth_[static_cast<std::size_t>(b)];
+      return da != db ? da > db : a < b;
+    });
+    std::size_t next_drain = 0;
+    for (int e = 0; e < engines_ && next_drain < drainable_.size(); ++e) {
+      const int lane = assignments_[static_cast<std::size_t>(e)];
+      if (lane >= 0 && !finished_[static_cast<std::size_t>(lane)]) continue;
+      const int target = drainable_[next_drain++];
+      assignments_[static_cast<std::size_t>(e)] = target;
+      grant_[static_cast<std::size_t>(target)] = e;
+    }
+
+    // Lane-parallel execution; writes stay lane-local.
+    parallel_for(n, config_.threads, [&](int i) {
+      Lane& lane = lanes_[static_cast<std::size_t>(i)];
+      const auto idx = static_cast<std::size_t>(i);
+      if (finished_[idx]) return;
+      std::uint8_t flags = 0;
+      if (paused_[idx]) {
+        flags = kPausedF;
+        ++lane.telemetry.paused_rounds;
+        if (grant_[idx] >= 0) {
+          cycles_[idx] = lane.stepper.spend(config_.cycles_per_round);
+          flags |= kServed;
+          ++lane.telemetry.served_rounds;
+        }
+      } else {
+        flags = kActive;
+        const bool backlog = lane.stepper.engine().stored_layers() > 0;
+        bool pushed = false;
+        if (lane.cursor < trace_rounds) {
+          pushed = lane.stepper.push(trace.layer(i, lane.cursor));
+          if (pushed) {
+            ++lane.cursor;
+            ++lane.telemetry.rounds_streamed;
+            flags |= kRealPush;
+          }
+        } else {
+          pushed = lane.stepper.push_clean();
+          if (pushed) ++lane.telemetry.drain_rounds;
+        }
+        if (pushed) {
+          flags |= kPushed;
+          if (grant_[idx] >= 0) {
+            cycles_[idx] = lane.stepper.spend(config_.cycles_per_round);
+            flags |= kServed;
+            ++lane.telemetry.served_rounds;
+          } else if (backlog) {
+            flags |= kStarved;
+            ++lane.telemetry.starved_rounds;
+          }
+        }
+      }
+      lane.record_depth();
+      depth_scratch_[idx] = lane.stepper.engine().stored_layers();
+      flags_[idx] = flags;
+    });
+
+    // Reductions in fixed lane/engine order on this thread.
+    RoundSample sample;
+    sample.round = round;
+    bool real_push = false;
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const std::uint8_t flags = flags_[idx];
+      if (!(flags & (kActive | kPausedF))) continue;
+      if (flags & kActive) {
+        ++sample.live_lanes;
+        if (flags & kRealPush) real_push = true;
+        if (flags & kStarved) ++sample.starved_lanes;
+        if (!(flags & kPushed)) ++overflowed_so_far_;
+      } else {
+        ++sample.paused_lanes;
+      }
+      if (flags & kServed) ++sample.served_lanes;
+      sample.depth_sum += static_cast<std::uint64_t>(depth_scratch_[idx]);
+      sample.depth_max = std::max(sample.depth_max, depth_scratch_[idx]);
+    }
+    sample.overflowed_lanes = overflowed_so_far_;
+    sample.drain = !real_push;
+    for (int e = 0; e < engines_; ++e) {
+      EngineTelemetry& stats =
+          telemetry_.engine_stats[static_cast<std::size_t>(e)];
+      const int lane = assignments_[static_cast<std::size_t>(e)];
+      if (lane >= 0 && (flags_[static_cast<std::size_t>(lane)] & kServed)) {
+        ++stats.busy_rounds;
+        stats.cycles += cycles_[static_cast<std::size_t>(lane)];
+        sample.cycles += cycles_[static_cast<std::size_t>(lane)];
+      } else {
+        ++stats.idle_rounds;
+      }
+    }
+    telemetry_.timeline.push_back(sample);
+    return true;
+  }
+
  private:
   static constexpr std::uint8_t kActive = 1;   ///< lane took part in the round
   static constexpr std::uint8_t kPushed = 2;   ///< layer accepted (no overflow)
   static constexpr std::uint8_t kServed = 4;   ///< consumed an engine grant
   static constexpr std::uint8_t kStarved = 8;  ///< backlogged, no grant
+  static constexpr std::uint8_t kPausedF = 16;   ///< frozen by admission
+  static constexpr std::uint8_t kRealPush = 32;  ///< pushed a trace layer
 
   std::vector<Lane>& lanes_;
   SchedulerPolicy& policy_;
   const StreamConfig& config_;
+  const AdmissionConfig admission_;
   StreamTelemetry& telemetry_;
   const int engines_;
   const int batch_;
@@ -232,6 +438,8 @@ class PoolScheduler {
 
   std::vector<int> depth_;             // pre-round, for the policy view
   std::vector<std::uint8_t> finished_;
+  std::vector<std::uint8_t> paused_;   // pause mode: frozen this round
+  std::vector<int> drainable_;         // pause mode: ungranted paused lanes
   std::vector<int> assignment_;        // one round, engine -> lane
   std::vector<int> assignments_;       // whole batch, [round][engine]
   std::vector<int> grant_;             // [lane][round]: engine or -1
@@ -272,11 +480,35 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
                          const StreamConfig& config) {
   const int n = trace.lanes();
   if (n < 1) throw std::invalid_argument("stream: trace has no lanes");
-  // Resolve the engine and policy specs before any lane (or thread)
-  // exists so a typo fails loudly up front.
+  // Resolve the engine, policy, and admission specs before any lane (or
+  // thread) exists so a typo fails loudly up front.
   const QecoolConfig engine_config = online_engine_config(config.engine);
   const auto policy = make_scheduler_policy(config.policy);
-  const int engines = config.engines <= 0 ? n : config.engines;
+  const AdmissionConfig admission = resolve_admission(
+      parse_admission_spec(config.admission), engine_config.reg_depth);
+  int engines = config.engines <= 0 ? n : config.engines;
+
+  // The pool size is ultimately a watts decision: a positive budget_w
+  // caps K at the largest pool whose modelled ERSFQ dissipation fits the
+  // 4-K stage (Table V). The clock sets the watts, so an unconstrained
+  // cycle budget cannot be power-capped.
+  const double freq_hz =
+      config.cycles_per_round > 0 ? config.cycles_per_round * 1e6 : 0.0;
+  if (config.budget_w > 0) {
+    if (freq_hz <= 0) {
+      throw std::invalid_argument(
+          "stream: budget_w needs a positive cycles_per_round — an "
+          "unconstrained clock has no defined power");
+    }
+    const int fit = PoolPowerModel::max_engines(
+        config.budget_w, static_cast<int>(trace.header().distance), freq_hz);
+    if (fit < 1) {
+      throw std::invalid_argument(
+          "stream: power budget cannot supply even one engine at this "
+          "distance and clock");
+    }
+    engines = std::min(engines, fit);
+  }
   if (engines < 1 || engines > n) {
     throw std::invalid_argument("stream: engines must be in [1, lanes], got " +
                                 std::to_string(engines));
@@ -302,46 +534,76 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
   outcome.telemetry.seed = trace.header().seed;
   outcome.telemetry.engine = config.engine;
   outcome.telemetry.policy = config.policy;
+  outcome.telemetry.admission = config.admission;
   outcome.telemetry.engines = engines;
-
-  PoolScheduler scheduler(lanes, *policy, engines, config, outcome.telemetry);
-
-  // Phase 1 — streaming: round t reaches every live lane before any lane
-  // sees round t+1, mirroring syndrome arrival in hardware; the policy
-  // grants engines round by round within each dispatch batch.
-  for (std::int64_t t = 0; t < trace.rounds();) {
-    const int count = static_cast<int>(
-        std::min<std::int64_t>(scheduler.batch(), trace.rounds() - t));
-    scheduler.dispatch(t, count, /*drain=*/false, &trace);
-    t += count;
+  outcome.telemetry.budget_w = config.budget_w;
+  if (freq_hz > 0) {
+    const PoolPowerModel power{engines,
+                               static_cast<int>(trace.header().distance),
+                               freq_hz};
+    outcome.telemetry.watts = power.watts();
   }
 
-  // Phase 2 — drain: clean layers until every lane overflowed or drained,
-  // bounded by max_drain_rounds (QEC never stops in hardware).
-  std::int64_t round = trace.rounds();
-  for (int budget = config.max_drain_rounds; budget > 0;) {
-    bool any_active = false;
-    for (const auto& lane : lanes) any_active |= !lane.finished();
-    if (!any_active) break;
-    const int count = std::min(scheduler.batch(), budget);
-    scheduler.dispatch(round, count, /*drain=*/true, nullptr);
-    round += count;
-    budget -= count;
+  PoolScheduler scheduler(lanes, *policy, engines, config, admission,
+                          outcome.telemetry);
+
+  if (admission.pause()) {
+    // Admission-controlled run: one round at a time, per-lane cursors.
+    // Paused lanes lag behind the global round, so streaming and drain
+    // interleave per lane; the total round count is bounded by the trace
+    // length plus the drain budget, exactly like the two-phase loop.
+    const std::int64_t max_rounds =
+        static_cast<std::int64_t>(trace.rounds()) + config.max_drain_rounds;
+    for (std::int64_t t = 0; t < max_rounds; ++t) {
+      if (!scheduler.dispatch_admission(t, trace)) break;
+    }
+  } else {
+    // Phase 1 — streaming: round t reaches every live lane before any lane
+    // sees round t+1, mirroring syndrome arrival in hardware; the policy
+    // grants engines round by round within each dispatch batch.
+    for (std::int64_t t = 0; t < trace.rounds();) {
+      const int count = static_cast<int>(
+          std::min<std::int64_t>(scheduler.batch(), trace.rounds() - t));
+      scheduler.dispatch(t, count, /*drain=*/false, &trace);
+      t += count;
+    }
+
+    // Phase 2 — drain: clean layers until every lane overflowed or
+    // drained, bounded by max_drain_rounds (QEC never stops in hardware).
+    std::int64_t round = trace.rounds();
+    for (int budget = config.max_drain_rounds; budget > 0;) {
+      bool any_active = false;
+      for (const auto& lane : lanes) any_active |= !lane.finished();
+      if (!any_active) break;
+      const int count = std::min(scheduler.batch(), budget);
+      scheduler.dispatch(round, count, /*drain=*/true, nullptr);
+      round += count;
+      budget -= count;
+    }
   }
 
   // Finalize each lane (the logical scoring decodes nothing, but keep it
   // in the parallel region: it is per-lane work too).
+  const bool pause_mode = admission.pause();
   parallel_for(n, config.threads, [&](int i) {
     Lane& lane = lanes[static_cast<std::size_t>(i)];
     const OnlineResult result = lane.stepper.result();
     LaneTelemetry& t = lane.telemetry;
     t.overflow = result.overflow;
-    t.drained = result.drained;
+    // Under admission pause a lane can exit the round bound mid-trace
+    // with an empty queue (it spent the tail paused): it never consumed
+    // the remaining syndrome layers, so it is NOT drained and must not
+    // be scored against the full-trace ground truth.
+    const bool drained =
+        result.drained &&
+        (!pause_mode ||
+         (lane.cursor >= trace.rounds() && !lane.stepper.paused()));
+    t.drained = drained;
     t.popped_layers = static_cast<int>(result.layer_cycles.size());
     t.total_cycles = result.total_cycles;
     t.layer_cycles = result.layer_cycles;
     t.matches = result.matches;
-    if (!result.failed_operationally()) {
+    if (!result.overflow && drained) {
       SyndromeHistory truth;
       truth.final_error = trace.final_error(i);
       DecodeResult decode;

@@ -12,6 +12,14 @@
 // as Reg queue depth. K == N with the "dedicated" policy is the original
 // one-engine-per-lane service, byte for byte.
 //
+// Admission control (stream/admission.hpp) decides what happens when a
+// lane's queues fill: admission=overflow lets the next push overflow the
+// Reg and kill the lane (the PR 3 behaviour, byte-identical), while
+// admission=pause freezes the lane's logical clock at the high-water
+// mark, drains its backlog on engines the policy leaves idle, and
+// re-admits it at the low-water mark. budget_w ties the pool size K to
+// the 4-K-stage power budget through the ERSFQ model (PoolPowerModel).
+//
 // Determinism contract: every lane is an independent (engine, telemetry)
 // pair; the scheduler advances all live lanes round-by-round over the
 // PR-1 thread-pool executor, assigns engines on the calling thread in
@@ -60,8 +68,22 @@ struct StreamConfig {
   /// Static policies amortize the per-round barrier over this many rounds
   /// without changing any outcome; dynamic policies (least_loaded) need
   /// fresh queue depths every round and clamp it to 1. <= 1 means one
-  /// round per dispatch.
+  /// round per dispatch. Admission pause mode also clamps to 1: pause and
+  /// resume decisions need fresh queue depths every round.
   int rounds_per_dispatch = 1;
+
+  /// Admission control spec, resolved via parse_admission_spec():
+  /// "overflow" (PR 3 behaviour, byte-identical), "pause" (freeze a
+  /// lane's logical clock instead of overflowing its Reg queues), or
+  /// "pause:high=H,low=L" to set the watermarks explicitly. See
+  /// stream/admission.hpp.
+  std::string admission = "overflow";
+
+  /// 4-K-stage power budget in watts; > 0 caps the pool at the largest K
+  /// whose modelled ERSFQ dissipation fits (PoolPowerModel). Requires a
+  /// positive cycles_per_round (the clock sets the watts); throws when
+  /// not even one engine fits. <= 0 leaves K uncapped.
+  double budget_w = 0.0;
 
   /// Worker threads (<= 0: all hardware threads). Never changes results.
   int threads = 1;

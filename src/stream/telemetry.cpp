@@ -42,6 +42,9 @@ void LaneTelemetry::merge(const LaneTelemetry& other) {
   drain_rounds += other.drain_rounds;
   served_rounds += other.served_rounds;
   starved_rounds += other.starved_rounds;
+  paused_rounds += other.paused_rounds;
+  pauses += other.pauses;
+  resumes += other.resumes;
   popped_layers += other.popped_layers;
   total_cycles += other.total_cycles;
   if (depth_hist.size() < other.depth_hist.size()) {
@@ -76,6 +79,11 @@ int StreamTelemetry::drained_lanes() const {
 int StreamTelemetry::failed_lanes() const {
   return static_cast<int>(std::count_if(
       lanes.begin(), lanes.end(), [](const auto& l) { return l.failed(); }));
+}
+
+int StreamTelemetry::ever_paused_lanes() const {
+  return static_cast<int>(std::count_if(
+      lanes.begin(), lanes.end(), [](const auto& l) { return l.pauses > 0; }));
 }
 
 double StreamTelemetry::pool_utilization() const {
@@ -174,18 +182,20 @@ bool StreamTelemetry::write_csv(const std::string& path) const {
 }
 
 bool StreamTelemetry::write_schedule_csv(const std::string& path) const {
-  CsvWriter csv(path, {"kind", "id", "policy", "engines", "lanes",
-                       "rounds_active", "rounds_inactive", "cycles",
+  CsvWriter csv(path, {"kind", "id", "policy", "admission", "engines",
+                       "lanes", "rounds_active", "rounds_inactive",
+                       "paused_rounds", "pauses", "resumes", "cycles",
                        "utilization", "fairness"});
   if (!csv.ok()) return false;
 
   const std::string pool_engines = std::to_string(engines);
   const std::string pool_lanes = std::to_string(lanes.size());
   for (const auto& e : engine_stats) {
-    csv.add_row({"engine", std::to_string(e.engine), policy, pool_engines,
-                 pool_lanes, std::to_string(e.busy_rounds),
-                 std::to_string(e.idle_rounds), std::to_string(e.cycles),
-                 fmt_double(e.utilization(), "%.4f"), ""});
+    csv.add_row({"engine", std::to_string(e.engine), policy, admission,
+                 pool_engines, pool_lanes, std::to_string(e.busy_rounds),
+                 std::to_string(e.idle_rounds), "", "", "",
+                 std::to_string(e.cycles), fmt_double(e.utilization(), "%.4f"),
+                 ""});
   }
   std::int64_t busy = 0, idle = 0;
   std::uint64_t cycles = 0;
@@ -195,14 +205,19 @@ bool StreamTelemetry::write_schedule_csv(const std::string& path) const {
     cycles += e.cycles;
   }
   for (const auto& lane : lanes) {
-    csv.add_row({"lane", std::to_string(lane.lane), policy, pool_engines,
-                 pool_lanes, std::to_string(lane.served_rounds),
+    csv.add_row({"lane", std::to_string(lane.lane), policy, admission,
+                 pool_engines, pool_lanes, std::to_string(lane.served_rounds),
                  std::to_string(lane.starved_rounds),
+                 std::to_string(lane.paused_rounds),
+                 std::to_string(lane.pauses), std::to_string(lane.resumes),
                  std::to_string(lane.total_cycles), "", ""});
   }
-  csv.add_row({"pool", "all", policy, pool_engines, pool_lanes,
+  const auto all = aggregate();
+  csv.add_row({"pool", "all", policy, admission, pool_engines, pool_lanes,
                std::to_string(busy), std::to_string(idle),
-               std::to_string(cycles), fmt_double(pool_utilization(), "%.4f"),
+               std::to_string(all.paused_rounds), std::to_string(all.pauses),
+               std::to_string(all.resumes), std::to_string(cycles),
+               fmt_double(pool_utilization(), "%.4f"),
                fmt_double(fairness_index(), "%.4f")});
   csv.flush();
   return true;
@@ -210,17 +225,20 @@ bool StreamTelemetry::write_schedule_csv(const std::string& path) const {
 
 bool StreamTelemetry::write_timeline_csv(const std::string& path) const {
   CsvWriter csv(path, {"round", "phase", "live", "served", "starved",
-                       "overflowed", "depth_sum", "depth_mean", "depth_max",
-                       "cycles"});
+                       "paused", "overflowed", "depth_sum", "depth_mean",
+                       "depth_max", "cycles", "watts"});
   if (!csv.ok()) return false;
+  const std::string watts_col = fmt_double(watts);
   for (const auto& s : timeline) {
     csv.add_row({std::to_string(s.round), s.drain ? "drain" : "stream",
                  std::to_string(s.live_lanes), std::to_string(s.served_lanes),
                  std::to_string(s.starved_lanes),
+                 std::to_string(s.paused_lanes),
                  std::to_string(s.overflowed_lanes),
                  std::to_string(s.depth_sum),
                  fmt_double(s.depth_mean(), "%.4f"),
-                 std::to_string(s.depth_max), std::to_string(s.cycles)});
+                 std::to_string(s.depth_max), std::to_string(s.cycles),
+                 watts_col});
   }
   csv.flush();
   return true;

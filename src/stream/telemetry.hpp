@@ -18,6 +18,12 @@
 //  - starved round  a live lane entered the round with backlog (stored
 //                   layers > 0 before the new layer landed) and was not
 //                   granted an engine.
+//  - paused round   the lane spent the round frozen by admission control
+//                   (admission=pause): no layer was admitted; engine
+//                   grants, if any, drained the backlog.
+//  - watts          modelled ERSFQ dissipation of the K-engine pool at
+//                   the run's clock (stream/admission.hpp); 0 when the
+//                   cycle budget is unconstrained (clock unknown).
 //
 // Everything here is assembled on the calling thread in lane order, so
 // every CSV is byte-identical for any --threads value. write_csv keeps the
@@ -45,6 +51,9 @@ struct LaneTelemetry {
   int drain_rounds = 0;     ///< extra clean rounds pushed
   int served_rounds = 0;    ///< rounds granted a pool engine
   int starved_rounds = 0;   ///< rounds denied an engine while backlogged
+  int paused_rounds = 0;    ///< rounds spent frozen by admission control
+  int pauses = 0;           ///< admission pauses (checkpoint() calls)
+  int resumes = 0;          ///< admission re-admissions (resume() calls)
   int popped_layers = 0;
   std::uint64_t total_cycles = 0;
 
@@ -91,15 +100,22 @@ struct RoundSample {
   std::int64_t round = 0;    ///< global round index (stream + drain)
   bool drain = false;        ///< false: trace round, true: drain round
   int live_lanes = 0;        ///< lanes that took part in the round
-  int served_lanes = 0;      ///< live lanes granted an engine
+  /// Lanes granted an engine: live lanes spending their budget plus
+  /// paused lanes draining via admission grants — so in pause mode
+  /// served can exceed live (bounded by live + paused).
+  int served_lanes = 0;
   int starved_lanes = 0;     ///< live lanes denied an engine while backlogged
+  int paused_lanes = 0;      ///< lanes frozen by admission control
   int overflowed_lanes = 0;  ///< cumulative lanes lost to overflow so far
-  std::uint64_t depth_sum = 0;  ///< stored layers across live lanes, post-round
+  /// Stored layers across live and paused lanes, post-round.
+  std::uint64_t depth_sum = 0;
   int depth_max = 0;
   std::uint64_t cycles = 0;  ///< decode cycles consumed this round (all engines)
 
+  /// Mean queue depth over every lane the sample covers (live + paused).
   double depth_mean() const {
-    return live_lanes ? static_cast<double>(depth_sum) / live_lanes : 0.0;
+    const int covered = live_lanes + paused_lanes;
+    return covered ? static_cast<double>(depth_sum) / covered : 0.0;
   }
 };
 
@@ -111,7 +127,10 @@ struct StreamTelemetry {
   std::uint64_t seed = 0;
   std::string engine = "qecool";
   std::string policy = "dedicated";
-  int engines = 0;  ///< pool size K
+  std::string admission = "overflow";  ///< admission spec (PR 4)
+  int engines = 0;   ///< pool size K
+  double watts = 0.0;     ///< modelled pool dissipation (0: clock unknown)
+  double budget_w = 0.0;  ///< configured power budget (<= 0: uncapped)
 
   std::vector<LaneTelemetry> lanes;
   std::vector<EngineTelemetry> engine_stats;  ///< one per pool engine
@@ -124,6 +143,8 @@ struct StreamTelemetry {
   int overflow_lanes() const;
   int drained_lanes() const;
   int failed_lanes() const;
+  /// Lanes the admission controller paused at least once.
+  int ever_paused_lanes() const;
 
   /// Busy fraction of the whole pool: busy engine-rounds over all
   /// accounted engine-rounds (0.0 when nothing was scheduled).

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Markdown link checker: dead relative links fail the build.
+
+Scans the given markdown files (or the repo's default doc set) for inline
+links and images `[text](target)`, resolves every relative target against
+the file's directory, and exits non-zero listing any target that does not
+exist. External links (http/https/mailto) and pure in-page anchors are
+skipped; `target#anchor` is checked for file existence only.
+
+Usage: tools/check_links.py [file.md ...]
+"""
+import os
+import re
+import sys
+
+# Inline links/images. [text](target "title") — capture the target up to
+# the first whitespace or closing paren.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+DEFAULT_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "PAPER.md",
+    "PAPERS.md",
+    "docs/streaming.md",
+    "docs/trace_format.md",
+    "docs/determinism.md",
+]
+
+
+def strip_code(text):
+    """Drop fenced and inline code spans so sample snippets are not linted."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path):
+    dead = []
+    with open(path, encoding="utf-8") as handle:
+        text = strip_code(handle.read())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path) or ".", target.split("#", 1)[0])
+        )
+        if not os.path.exists(resolved):
+            dead.append((target, resolved))
+    return dead
+
+
+def main(argv):
+    files = argv[1:] or [f for f in DEFAULT_FILES if os.path.exists(f)]
+    missing_inputs = [f for f in argv[1:] if not os.path.exists(f)]
+    if missing_inputs:
+        for f in missing_inputs:
+            print(f"check_links: no such file: {f}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in files:
+        for target, resolved in check_file(path):
+            print(f"{path}: dead link '{target}' -> {resolved}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"check_links: {failures} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"check_links: {len(files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
