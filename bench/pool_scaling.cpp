@@ -12,13 +12,16 @@
 // charts failed-lane fraction against power — how many lanes survive per
 // watt at each clock — not just against K/N. --budget-w=W caps every cell
 // at the largest K whose pool fits W (the Table V question, live), and
-// --admission=overflow,pause compares load shedding styles cell by cell.
+// --admission=overflow,pause,codel compares load shedding styles cell by
+// cell — depth-triggered vs sojourn-triggered (CoDel) freezing.
 //
 // One trace is recorded per run and replayed through every (admission,
 // policy, K, clock) cell, so cells differ only in the service
 // configuration. The CSV has one row per cell: failed-lane fraction,
 // overflow/drain/logical split, pool watts, surviving lanes per watt,
-// pool utilization, Jain fairness, starved and paused lane-rounds.
+// pool utilization, Jain fairness, starved and paused lane-rounds, and
+// aggregate end-to-end sojourn percentiles (p50/p95/p99/max, rounds);
+// --latency-csv adds per-lane latency rows for every cell.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -38,18 +41,9 @@
 
 namespace {
 
-std::vector<std::string> split_list(const std::string& text) {
-  std::vector<std::string> items;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const auto comma = text.find(',', start);
-    const auto end = comma == std::string::npos ? text.size() : comma;
-    if (end > start) items.push_back(text.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return items;
-}
+using qec::bench::fmt;
+using qec::bench::split_doubles;
+using qec::bench::split_list;
 
 /// Splits a comma-separated list of *specs*, re-attaching option
 /// fragments to their spec: "overflow,pause:high=6,low=2" is the two
@@ -71,30 +65,6 @@ std::vector<std::string> split_specs(const std::string& text) {
   return items;
 }
 
-std::vector<double> split_doubles(const std::string& text) {
-  std::vector<double> values;
-  for (const auto& item : split_list(text)) {
-    std::size_t used = 0;
-    double value = 0.0;
-    try {
-      value = std::stod(item, &used);
-    } catch (const std::exception&) {
-      used = 0;
-    }
-    if (used != item.size()) {
-      throw std::invalid_argument("not a number in list: '" + item + "'");
-    }
-    values.push_back(value);
-  }
-  return values;
-}
-
-std::string fmt(double value, const char* spec = "%.4g") {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), spec, value);
-  return buffer;
-}
-
 constexpr const char* kSummary =
     "sweep the shared decoder pool over K/N x clock x policy x admission "
     "and chart failed-lane fraction against modelled pool watts";
@@ -107,8 +77,12 @@ constexpr const char* kOptions =
     "  --mhz=10,40,160       decoder clocks to sweep (MHz, list)\n"
     "  --fractions=...       K/N grid (default 0.125,0.25,0.375,0.5,0.75,1)\n"
     "  --engines=K           sweep a single pool size instead of --fractions\n"
-    "  --policies=round_robin,least_loaded   scheduling policies (list)\n"
-    "  --admission=overflow  admission specs (list; e.g. overflow,pause)\n"
+    "  --policies=round_robin,least_loaded   scheduling policy specs (list:\n"
+    "                        dedicated | round_robin[:offset=N] |\n"
+    "                        least_loaded | fq[:quantum=CYCLES])\n"
+    "  --admission=overflow  admission specs (list: overflow |\n"
+    "                        pause[:high=H,low=L] |\n"
+    "                        codel[:target=T,interval=I], rounds)\n"
     "  --budget-w=0          4-K power budget in watts; > 0 caps K per cell\n"
     "  --dispatch=1          rounds per scheduling dispatch (static policies)\n"
     "  --engine=qecool       lane engine spec\n"
@@ -116,7 +90,8 @@ constexpr const char* kOptions =
     "  --drain=1000          max drain rounds after the trace ends\n"
     "  --threads=1           worker threads (0 = all cores; never changes "
     "results)\n"
-    "  --csv=FILE            write the sweep CSV to FILE\n";
+    "  --csv=FILE            write the sweep CSV to FILE\n"
+    "  --latency-csv=FILE    per-lane sojourn latency rows for every cell\n";
 
 }  // namespace
 
@@ -194,10 +169,18 @@ int main(int argc, char** argv) {
                         "overflow_lanes", "undrained_lanes",
                         "logical_failures", "failed_lanes", "failed_frac",
                         "surviving_lanes", "lanes_per_watt", "utilization",
-                        "fairness", "starved_rounds", "paused_rounds"});
+                        "fairness", "starved_rounds", "paused_rounds",
+                        "soj_p50", "soj_p95", "soj_p99", "soj_max"});
+
+    const std::string latency_path = args.get_or("latency-csv", "");
+    qec::CsvWriter latency_csv(
+        latency_path.empty() ? "/dev/null" : latency_path,
+        {"policy", "admission", "lanes", "engines", "mhz", "lane", "samples",
+         "soj_p50", "soj_p95", "soj_p99", "soj_max"});
 
     qec::TextTable table({"policy", "admission", "K/N", "mhz", "watts",
-                          "failed", "overflow", "paused", "fairness", "util"});
+                          "failed", "overflow", "paused", "soj_p99",
+                          "fairness", "util"});
     const auto start = std::chrono::steady_clock::now();
     // With --budget-w, several requested K collapse onto the same
     // power-capped pool; run each distinct (admission, policy, clock, K)
@@ -246,6 +229,11 @@ int main(int argc, char** argv) {
                 static_cast<int>(outcome.telemetry.lanes.size()) -
                 outcome.drained_lanes - outcome.overflow_lanes;
             const double fairness = outcome.telemetry.fairness_index();
+            const std::uint64_t soj_max =
+                all.sojourn_rounds.empty()
+                    ? 0
+                    : *std::max_element(all.sojourn_rounds.begin(),
+                                        all.sojourn_rounds.end());
 
             if (csv.ok()) {
               csv.add_row(
@@ -260,16 +248,44 @@ int main(int argc, char** argv) {
                    std::to_string(surviving), fmt(lanes_per_watt, "%.6g"),
                    fmt(util), fmt(fairness),
                    std::to_string(all.starved_rounds),
-                   std::to_string(all.paused_rounds)});
+                   std::to_string(all.paused_rounds),
+                   std::to_string(all.sojourn_percentile(50)),
+                   std::to_string(all.sojourn_percentile(95)),
+                   std::to_string(all.sojourn_percentile(99)),
+                   std::to_string(soj_max)});
               csv.flush();
+            }
+            if (!latency_path.empty() && latency_csv.ok()) {
+              const auto emit_latency = [&](const qec::LaneTelemetry& t,
+                                            const std::string& label) {
+                const std::uint64_t lane_max =
+                    t.sojourn_rounds.empty()
+                        ? 0
+                        : *std::max_element(t.sojourn_rounds.begin(),
+                                            t.sojourn_rounds.end());
+                latency_csv.add_row(
+                    {policy, admission, std::to_string(outcome.lanes),
+                     std::to_string(ran_engines), fmt(mhz, "%.6g"), label,
+                     std::to_string(t.sojourn_rounds.size()),
+                     std::to_string(t.sojourn_percentile(50)),
+                     std::to_string(t.sojourn_percentile(95)),
+                     std::to_string(t.sojourn_percentile(99)),
+                     std::to_string(lane_max)});
+              };
+              for (const auto& lane : outcome.telemetry.lanes) {
+                emit_latency(lane, std::to_string(lane.lane));
+              }
+              emit_latency(all, "all");
+              latency_csv.flush();
             }
             table.add_row({policy, admission, fmt(k_over_n),
                            fmt(mhz, "%.6g"), fmt(watts, "%.3g"),
                            std::to_string(outcome.failed_lanes) + "/" +
                                std::to_string(outcome.lanes),
                            std::to_string(outcome.overflow_lanes),
-                           std::to_string(all.paused_rounds), fmt(fairness),
-                           fmt(util)});
+                           std::to_string(all.paused_rounds),
+                           std::to_string(all.sojourn_percentile(99)),
+                           fmt(fairness), fmt(util)});
           }
         }
       }
@@ -287,6 +303,10 @@ int main(int argc, char** argv) {
                 base.threads, base.rounds_per_dispatch);
     if (!csv_path.empty()) {
       std::printf("sweep written to %s\n", csv_path.c_str());
+    }
+    if (!latency_path.empty()) {
+      std::printf("per-lane sojourn latency written to %s\n",
+                  latency_path.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

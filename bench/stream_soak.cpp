@@ -9,8 +9,12 @@
 // batches B rounds per parallel_for barrier for static policies — the
 // lane-scaling amortization; outcomes never change, only wall-clock.
 // --admission=pause swaps Reg-overflow lane death for graceful load
-// shedding (freeze + drain + re-admit) and --budget-w caps the pool at
-// the largest K that fits the 4-K power budget (see --help).
+// shedding (freeze + drain + re-admit), --admission=codel freezes on
+// sustained sojourn latency instead of queue depth (the CoDel law in
+// logical rounds; pair with --policy=fq for FQ-CoDel fair scheduling and
+// --latency-csv for per-lane end-to-end percentiles), and --budget-w
+// caps the pool at the largest K that fits the 4-K power budget (see
+// --help).
 //
 // With a fixed seed every CSV is byte-identical for any --threads value,
 // and a run replayed from --trace-in reproduces the recorded run's
@@ -40,10 +44,12 @@ constexpr const char* kOptions =
     "  --mhz=2000            decoder clock in MHz (cycle budget per round)\n"
     "  --engine=qecool       lane engine spec (e.g. qecool:reg_depth=4)\n"
     "  --engines=0           pool size K (0 = one engine per lane)\n"
-    "  --policy=dedicated    scheduling policy (dedicated | round_robin |\n"
-    "                        least_loaded, with options like decoder specs)\n"
-    "  --admission=overflow  admission control (overflow | pause |\n"
-    "                        pause:high=H,low=L)\n"
+    "  --policy=dedicated    scheduling policy spec: dedicated |\n"
+    "                        round_robin[:offset=N] | least_loaded |\n"
+    "                        fq[:quantum=CYCLES]\n"
+    "  --admission=overflow  admission control spec: overflow |\n"
+    "                        pause[:high=H,low=L] |\n"
+    "                        codel[:target=T,interval=I] (rounds)\n"
     "  --budget-w=0          4-K power budget in watts; > 0 caps K\n"
     "  --dispatch=1          rounds per scheduling dispatch (static policies)\n"
     "  --seed=2021           trace RNG seed\n"
@@ -53,6 +59,7 @@ constexpr const char* kOptions =
     "  --csv=FILE            per-lane telemetry CSV\n"
     "  --sched-csv=FILE      per-engine / per-lane scheduling report CSV\n"
     "  --timeline-csv=FILE   per-round aggregate depth timeline CSV\n"
+    "  --latency-csv=FILE    per-lane end-to-end sojourn latency CSV\n"
     "  --trace-out=FILE      save the recorded syndrome trace ('QTRC')\n"
     "  --trace-in=FILE       replay a previously recorded trace\n";
 
@@ -141,6 +148,10 @@ int main(int argc, char** argv) {
                    std::to_string(all.cycle_percentile(50)) + " / " +
                        std::to_string(all.cycle_percentile(95)) + " / " +
                        std::to_string(all.cycle_percentile(99))});
+    table.add_row({"sojourn rounds p50/p95/p99",
+                   std::to_string(all.sojourn_percentile(50)) + " / " +
+                       std::to_string(all.sojourn_percentile(95)) + " / " +
+                       std::to_string(all.sojourn_percentile(99))});
     table.add_row({"queue depth mean / max",
                    qec::TextTable::fmt(all.mean_depth(), 3) + " / " +
                        std::to_string(all.max_depth())});
@@ -178,6 +189,15 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("round timeline written to %s\n", timeline_csv.c_str());
+    }
+    const std::string latency_csv = args.get_or("latency-csv", "");
+    if (!latency_csv.empty()) {
+      if (!outcome.telemetry.write_latency_csv(latency_csv)) {
+        std::fprintf(stderr, "cannot write %s\n", latency_csv.c_str());
+        return 1;
+      }
+      std::printf("sojourn latency report written to %s\n",
+                  latency_csv.c_str());
     }
     return outcome.overflow_lanes == outcome.lanes ? 2 : 0;
   } catch (const std::exception& e) {

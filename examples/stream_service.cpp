@@ -12,8 +12,8 @@
 //
 // --engines=K shrinks the decoder pool below one engine per lane and
 // --policy picks the lane scheduler (dedicated | round_robin |
-// least_loaded); the per-lane "served/starved" column then shows how the
-// pool's cycles were spread across lanes.
+// least_loaded | fq); the per-lane "served/starved" column then shows how
+// the pool's cycles were spread across lanes.
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -35,8 +35,12 @@ constexpr const char* kOptions =
     "  --mhz=1000            decoder clock in MHz\n"
     "  --engine=qecool       lane engine spec\n"
     "  --engines=0           pool size K (0 = one engine per lane)\n"
-    "  --policy=dedicated    scheduling policy\n"
-    "  --admission=overflow  admission control (overflow | pause)\n"
+    "  --policy=dedicated    scheduling policy spec: dedicated |\n"
+    "                        round_robin[:offset=N] | least_loaded |\n"
+    "                        fq[:quantum=CYCLES]\n"
+    "  --admission=overflow  admission control spec: overflow |\n"
+    "                        pause[:high=H,low=L] |\n"
+    "                        codel[:target=T,interval=I] (rounds)\n"
     "  --budget-w=0          4-K power budget in watts; > 0 caps K\n"
     "  --seed=7              trace RNG seed\n"
     "  --threads=1           worker threads (0 = all cores)\n"

@@ -132,6 +132,15 @@ std::vector<std::string> DecoderOptions::unconsumed() const {
   return keys;
 }
 
+std::string DecoderOptions::join_keys(const std::vector<std::string>& keys) {
+  std::string joined;
+  for (const auto& key : keys) {
+    if (!joined.empty()) joined += ", ";
+    joined += "'" + key + "'";
+  }
+  return joined;
+}
+
 void register_decoder(const std::string& name, DecoderFactory factory) {
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mutex);
@@ -158,8 +167,8 @@ std::unique_ptr<Decoder> make_decoder(std::string_view spec) {
   auto decoder = factory(options);
   if (!decoder) bad_spec("factory for '" + std::string(name) + "' failed");
   if (const auto leftover = options.unconsumed(); !leftover.empty()) {
-    bad_spec("decoder '" + std::string(name) + "' does not understand '" +
-             leftover.front() + "'");
+    bad_spec("decoder '" + std::string(name) + "' does not understand " +
+             DecoderOptions::join_keys(leftover));
   }
   return decoder;
 }
@@ -182,8 +191,8 @@ QecoolConfig online_engine_config(std::string_view spec) {
                                       : spec.substr(colon + 1));
   const QecoolConfig config = qecool_config(options);
   if (const auto leftover = options.unconsumed(); !leftover.empty()) {
-    bad_spec("online engine 'qecool' does not understand '" +
-             leftover.front() + "'");
+    bad_spec("online engine 'qecool' does not understand " +
+             DecoderOptions::join_keys(leftover));
   }
   return config;
 }

@@ -38,6 +38,11 @@ class DecoderOptions {
   /// Keys never consumed by any getter (set after factory construction).
   std::vector<std::string> unconsumed() const;
 
+  /// "'key1', 'key2'" — formats unconsumed() for an error message, naming
+  /// every offending option so one round-trip fixes the whole spec.
+  /// Shared by the decoder, scheduler-policy, and admission spec parsers.
+  static std::string join_keys(const std::vector<std::string>& keys);
+
  private:
   std::string take(std::string_view key) const;
 

@@ -25,16 +25,24 @@ bool OnlineStepper::push(const BitVec& layer) {
 }
 
 std::uint64_t OnlineStepper::spend(double cycles) {
+  last_spend_pops_ = 0;
   if (overflow_) return 0;
-  if (cycles <= 0.0) return engine_.run(QecoolEngine::kUnlimited);
-  // Accumulate the fractional budget: a 1.5-cycle clock grants 1, 2, 1, 2,
-  // ... cycles rather than truncating to 1 every round. Cycles the engine
-  // leaves unused because it went idle are NOT carried — the hardware clock
-  // ticks on regardless.
-  carry_ += cycles;
-  const auto budget = static_cast<std::uint64_t>(carry_);
-  carry_ -= static_cast<double>(budget);
-  return engine_.run(budget);
+  const int popped_before = engine_.popped_layers();
+  std::uint64_t consumed;
+  if (cycles <= 0.0) {
+    consumed = engine_.run(QecoolEngine::kUnlimited);
+  } else {
+    // Accumulate the fractional budget: a 1.5-cycle clock grants 1, 2, 1,
+    // 2, ... cycles rather than truncating to 1 every round. Cycles the
+    // engine leaves unused because it went idle are NOT carried — the
+    // hardware clock ticks on regardless.
+    carry_ += cycles;
+    const auto budget = static_cast<std::uint64_t>(carry_);
+    carry_ -= static_cast<double>(budget);
+    consumed = engine_.run(budget);
+  }
+  last_spend_pops_ = engine_.popped_layers() - popped_before;
+  return consumed;
 }
 
 bool OnlineStepper::step(const BitVec& layer) {

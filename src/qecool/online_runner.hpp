@@ -104,6 +104,11 @@ class OnlineStepper {
   /// no-op returning 0 after overflow.
   std::uint64_t spend(double cycles);
 
+  /// Layers the engine fully decoded (popped) during the most recent
+  /// spend() call — the dequeue events the streaming QoS layer timestamps
+  /// for sojourn latency (src/stream/qos.hpp). 0 before any spend.
+  int last_spend_pops() const { return last_spend_pops_; }
+
   /// push() + spend() of this round's configured budget — the dedicated
   /// engine behaviour. Returns false when the Reg queues overflow.
   bool step(const BitVec& layer);
@@ -148,6 +153,7 @@ class OnlineStepper {
   bool overflow_ = false;
   bool paused_ = false;     ///< logical clock frozen by admission control.
   int rounds_ = 0;
+  int last_spend_pops_ = 0;  ///< layers popped by the most recent spend().
 };
 
 /// Streams `history` through an on-line engine and returns the outcome.

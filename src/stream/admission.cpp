@@ -1,7 +1,9 @@
 #include "stream/admission.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "decoder/registry.hpp"
 #include "sfq/budget.hpp"
@@ -41,13 +43,25 @@ AdmissionConfig parse_admission_spec(std::string_view spec) {
       if (low < 0) bad_spec("low-water mark must be >= 0");
       config.low_water = low;
     }
+  } else if (name == "codel") {
+    config.mode = AdmissionConfig::Mode::kCodel;
+    if (const int target = options.get_int("target", kAbsent);
+        target != kAbsent) {
+      if (target < 1) bad_spec("codel target must be >= 1 round");
+      config.target = target;
+    }
+    if (const int interval = options.get_int("interval", kAbsent);
+        interval != kAbsent) {
+      if (interval < 1) bad_spec("codel interval must be >= 1 round");
+      config.interval = interval;
+    }
   } else {
     bad_spec("unknown mode '" + std::string(name) +
-             "' (expected overflow or pause)");
+             "' (expected overflow, pause, or codel)");
   }
   if (const auto leftover = options.unconsumed(); !leftover.empty()) {
-    bad_spec("mode '" + std::string(name) + "' does not understand '" +
-             leftover.front() + "'");
+    bad_spec("mode '" + std::string(name) + "' does not understand " +
+             DecoderOptions::join_keys(leftover));
   }
   // Reject orderings that can never resolve, before reg_depth is known.
   if (config.pause() && config.high_water > 0 && config.low_water >= 0 &&
@@ -61,6 +75,20 @@ AdmissionConfig resolve_admission(const AdmissionConfig& config,
                                   int reg_depth) {
   AdmissionConfig resolved = config;
   if (!resolved.pause()) return resolved;
+  if (resolved.codel()) {
+    // The latency law drives pause decisions; the depth high-water mark
+    // stays as the overflow backstop, so codel can never lose a lane
+    // that pause mode would have kept. The low-water mark doubles as the
+    // drain re-admission depth: the engine cannot pop a base layer until
+    // m - b > thv, so a paused lane stalls with a few layers resident and
+    // a depth mark (not depth == 0) must thaw it, exactly as in pause
+    // mode.
+    resolved.high_water = reg_depth;
+    resolved.low_water = reg_depth / 2;
+    if (resolved.target <= 0) resolved.target = std::max(1, reg_depth / 2);
+    if (resolved.interval <= 0) resolved.interval = 2 * reg_depth;
+    return resolved;
+  }
   if (resolved.high_water <= 0) resolved.high_water = reg_depth;
   if (resolved.low_water < 0) resolved.low_water = reg_depth / 2;
   if (resolved.high_water > reg_depth) {

@@ -41,34 +41,57 @@ struct AdmissionConfig {
   enum class Mode {
     kOverflow,  ///< PR 3 behaviour: push into a full queue, lane dies.
     kPause,     ///< freeze the lane's logical clock until the queue drains.
+    kCodel,     ///< freeze on sustained sojourn latency (CoDel control law).
   };
 
   Mode mode = Mode::kOverflow;
 
-  /// Pause a lane whose pre-round queue depth is >= high_water (only
-  /// meaningful in kPause mode). 0 selects the automatic mark: the
-  /// engine's reg_depth, i.e. pause exactly when the next push would
-  /// overflow — pause mode then strictly dominates overflow mode.
+  /// Pause a lane whose pre-round queue depth is >= high_water. In kPause
+  /// mode 0 selects the automatic mark: the engine's reg_depth, i.e.
+  /// pause exactly when the next push would overflow — pause mode then
+  /// strictly dominates overflow mode. In kCodel mode this is always the
+  /// overflow backstop (reg_depth) behind the latency control law.
   int high_water = 0;
 
   /// Re-admit a paused lane once its queue depth is <= low_water. -1
   /// selects the automatic mark: reg_depth / 2. Must resolve to
-  /// 0 <= low_water < high_water <= reg_depth.
+  /// 0 <= low_water < high_water <= reg_depth. kCodel always uses the
+  /// automatic mark, as the drain backstop behind the sojourn-based
+  /// resume (the engine cannot pop below thv resident layers, so a depth
+  /// mark must thaw a stalled drain).
   int low_water = -1;
 
-  bool pause() const { return mode == Mode::kPause; }
+  /// kCodel: sojourn target in logical rounds — pause once the lane's
+  /// minimum head sojourn stays >= target for a whole interval; re-admit
+  /// when the head sojourn falls below it. 0 selects the automatic
+  /// target: max(1, reg_depth / 2).
+  int target = 0;
+
+  /// kCodel: control interval in logical rounds (the sustained-congestion
+  /// window; consecutive pauses shrink it by 1/sqrt(count)). 0 selects
+  /// the automatic interval: 2 * reg_depth.
+  int interval = 0;
+
+  /// Admission-controlled modes: the service runs the pause/drain/resume
+  /// machinery (per-lane trace cursors, checkpoint()/resume()).
+  bool pause() const { return mode != Mode::kOverflow; }
+  /// Pause decisions come from the CoDel latency law, not depth marks.
+  bool codel() const { return mode == Mode::kCodel; }
 };
 
-/// Parses an admission spec — "overflow", "pause", or
-/// "pause:high=H,low=L" — through the same option machinery as decoder
-/// and scheduler-policy specs. Throws std::invalid_argument for unknown
-/// modes, malformed option lists, options the mode does not understand
-/// ("overflow" takes none), or marks that cannot order (low >= high).
+/// Parses an admission spec — "overflow", "pause", "pause:high=H,low=L",
+/// "codel", or "codel:target=T,interval=I" — through the same option
+/// machinery as decoder and scheduler-policy specs. Throws
+/// std::invalid_argument for unknown modes, malformed option lists,
+/// options the mode does not understand ("overflow" takes none, "pause"
+/// takes high/low, "codel" takes target/interval; every offending key is
+/// named), or marks that cannot order (low >= high).
 AdmissionConfig parse_admission_spec(std::string_view spec);
 
-/// Resolves the automatic watermarks against the engine's actual
-/// reg_depth and validates 0 <= low < high <= reg_depth. Throws
-/// std::invalid_argument when the resolved marks are out of range.
+/// Resolves the automatic watermarks (pause) or target/interval (codel)
+/// against the engine's actual reg_depth and validates
+/// 0 <= low < high <= reg_depth. Throws std::invalid_argument when the
+/// resolved marks are out of range.
 AdmissionConfig resolve_admission(const AdmissionConfig& config,
                                   int reg_depth);
 

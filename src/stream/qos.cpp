@@ -1,0 +1,187 @@
+#include "stream/qos.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qec {
+
+void LatencyTracker::on_push(std::int64_t round, bool real) {
+  in_flight_.push_back({round, real});
+}
+
+void LatencyTracker::on_pops(int count, std::int64_t round) {
+  if (count < 0 || static_cast<std::size_t>(count) > in_flight_.size()) {
+    throw std::logic_error(
+        "latency tracker: engine reported more pops than layers in flight");
+  }
+  for (int i = 0; i < count; ++i) {
+    const InFlight entry = in_flight_.front();
+    in_flight_.pop_front();
+    if (entry.real) {
+      samples_.push_back(static_cast<std::uint64_t>(round - entry.round + 1));
+    }
+  }
+}
+
+std::int64_t LatencyTracker::head_age(std::int64_t now) const {
+  return in_flight_.empty() ? 0 : now - in_flight_.front().round;
+}
+
+std::int64_t CodelControl::shrunk_interval(int k) const {
+  // interval / sqrt(count): the classic CoDel drop spacing. llround on an
+  // exact integral quotient is deterministic; never below one round.
+  const auto shrunk = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(interval_) / std::sqrt(static_cast<double>(k))));
+  return shrunk < 1 ? 1 : shrunk;
+}
+
+bool CodelControl::should_pause(std::int64_t now, std::int64_t sojourn,
+                                int depth) {
+  if (sojourn < target_ || depth < 2) {
+    // Healthy (or not a standing queue): disarm. The consecutive-pause
+    // count survives until a full healthy interval elapses, below.
+    armed_at_ = -1;
+    return false;
+  }
+  if (armed_at_ < 0) {
+    armed_at_ = now;
+    // Re-entering the above-target state long after the last resume is a
+    // fresh congestion event, not a continuation: reset the sqrt divisor.
+    if (last_resume_ == kNever || now - last_resume_ > interval_) count_ = 0;
+  }
+  if (now - armed_at_ + 1 >= shrunk_interval(count_ + 1)) {
+    ++count_;
+    armed_at_ = -1;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Deficit-round-robin over new/old lane lists (FQ-CoDel's scheduler,
+/// lanes for flows, engine grants for packets). Each round the policy
+/// walks the new list, then the old list, granting an engine to every
+/// backlogged lane whose deficit is positive; a lane at the head with no
+/// deficit is topped up by one quantum and rotated to the old-list tail.
+/// Lanes joining with fresh backlog enter the new list with one quantum —
+/// served ahead of everyone once, then they rotate into the old list like
+/// any other lane, so a burst gets priority service exactly once per
+/// backlog episode.
+class FqCodelPolicy final : public SchedulerPolicy {
+ public:
+  explicit FqCodelPolicy(double quantum) : quantum_opt_(quantum) {}
+
+  bool dynamic() const override { return true; }
+
+  void assign(const ScheduleView& view,
+              std::vector<int>& assignment) override {
+    const auto n = static_cast<std::size_t>(view.lanes);
+    if (membership_.size() != n) {
+      membership_.assign(n, List::kNone);
+      deficit_.assign(n, 0.0);
+      new_.clear();
+      old_.clear();
+    }
+    granted_.assign(n, 0);
+
+    // One engine grant is worth the per-round cycle budget; with an
+    // unconstrained budget DRR degenerates to counting grants (cost 1).
+    const double grant_cost = view.grant_cycles > 0 ? view.grant_cycles : 1.0;
+    const double quantum = quantum_opt_ > 0 ? quantum_opt_ : grant_cost;
+
+    // Enroll lanes that just became backlogged, in lane order.
+    for (int lane = 0; lane < view.lanes; ++lane) {
+      const auto i = static_cast<std::size_t>(lane);
+      if (membership_[i] == List::kNone && view.schedulable(lane) &&
+          view.depth[i] > 0) {
+        membership_[i] = List::kNew;
+        deficit_[i] = quantum;
+        new_.push_back(lane);
+      }
+    }
+
+    int next_engine = 0;
+    // A lane needs at most grant_cost/quantum top-ups before its deficit
+    // goes positive, so this many sweeps provably either fills all K
+    // engines or proves nothing more is grantable.
+    const int max_sweeps =
+        static_cast<int>(grant_cost / quantum) + 2;
+    for (int sweep = 0; sweep < max_sweeps && next_engine < view.engines;
+         ++sweep) {
+      bool progressed = false;
+      // Pops are bounded by the current list population: rotated lanes go
+      // to the old-list tail, behind every lane already enqueued, so each
+      // lane is visited at most once per sweep.
+      std::size_t pops = new_.size() + old_.size();
+      while (pops-- > 0 && next_engine < view.engines) {
+        const bool from_new = !new_.empty();
+        std::deque<int>& list = from_new ? new_ : old_;
+        if (list.empty()) break;
+        const int lane = list.front();
+        list.pop_front();
+        const auto i = static_cast<std::size_t>(lane);
+        if (!view.schedulable(lane) || view.depth[i] == 0) {
+          // Emptied or frozen. A new-list lane keeps one old-list turn
+          // (the FQ-CoDel anti-starvation rotation); an old-list lane
+          // retires and re-enrolls as new when backlog returns.
+          if (from_new) {
+            membership_[i] = List::kOld;
+            old_.push_back(lane);
+          } else {
+            membership_[i] = List::kNone;
+          }
+          continue;
+        }
+        if (granted_[i]) {
+          // Already served this round — one Unit array cannot consume two
+          // engines' cycles in one interval. Keep its rotation slot.
+          membership_[i] = List::kOld;
+          old_.push_back(lane);
+          continue;
+        }
+        if (deficit_[i] <= 0.0) {
+          deficit_[i] += quantum;
+          membership_[i] = List::kOld;
+          old_.push_back(lane);
+          progressed = true;
+          continue;
+        }
+        assignment[static_cast<std::size_t>(next_engine++)] = lane;
+        granted_[i] = 1;
+        deficit_[i] -= grant_cost;
+        membership_[i] = List::kOld;
+        old_.push_back(lane);
+        progressed = true;
+      }
+      if (!progressed) break;
+    }
+  }
+
+ private:
+  enum class List : std::uint8_t { kNone, kNew, kOld };
+
+  const double quantum_opt_;          ///< <= 0: one grant's worth per turn
+  std::vector<List> membership_;      ///< which list each lane sits in
+  std::vector<double> deficit_;       ///< DRR credit, in engine cycles
+  std::deque<int> new_;               ///< freshly-backlogged lanes
+  std::deque<int> old_;               ///< rotation of established lanes
+  std::vector<std::uint8_t> granted_; ///< per-round scratch
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulerPolicy> make_fq_policy(const DecoderOptions& options) {
+  constexpr double kAbsent = std::numeric_limits<double>::lowest();
+  double quantum = options.get_double("quantum", kAbsent);
+  if (quantum == kAbsent) {
+    quantum = 0.0;  // auto: one engine grant's worth of cycles
+  } else if (quantum <= 0.0) {
+    throw std::invalid_argument(
+        "scheduler policy spec: fq quantum must be > 0 engine cycles");
+  }
+  return std::make_unique<FqCodelPolicy>(quantum);
+}
+
+}  // namespace qec

@@ -1,0 +1,155 @@
+// Lane quality-of-service for the streaming decode service: sojourn-time
+// latency tracking, CoDel admission control, and an FQ-CoDel-style fair
+// scheduler. The keep-up argument of the paper is ultimately a *latency*
+// argument — a syndrome round that sits in a lane's Reg past reg_depth
+// rounds is lost — yet depth watermarks (admission=pause) only react after
+// the damage is queued. This layer controls on *time in queue* instead,
+// the CoDel insight translated from wall-clock to logical rounds.
+//
+// Three pieces (see DESIGN.md section 10):
+//
+//  - LatencyTracker: the per-lane sojourn clock. Every pushed difference
+//    layer is timestamped with the global round at enqueue; when the
+//    engine pops it (OnlineStepper::spend reports pops per grant), the
+//    sample pop_round - push_round + 1 is recorded — the end-to-end
+//    round latency of that measurement layer, *including* any rounds the
+//    lane spent frozen by admission control. Counters are exact (every
+//    sample kept, no reservoir); percentiles come from the same
+//    percentile_nearest_rank the cycle-latency telemetry uses.
+//
+//  - CodelControl: the CoDel control law in logical rounds. A lane whose
+//    *minimum* sojourn over the last `interval` rounds stays at or above
+//    `target` is paused; consecutive pauses shrink the interval by
+//    1/sqrt(count) — exactly CoDel's drop law with "drop" replaced by
+//    "freeze the lane's logical clock" (admission=codel:target=T,interval=I,
+//    src/stream/admission.hpp).
+//
+//  - The `fq` SchedulerPolicy (registered in stream/scheduler.cpp,
+//    constructed by make_fq_policy): deficit-round-robin over new/old
+//    lane lists with a configurable quantum of engine cycles. A lane
+//    that starts backlogging joins the *new* list with one quantum of
+//    credit and is served ahead of the old list once, then rotates into
+//    the old list — FQ-CoDel's new-flow priority, so a freshly-bursting
+//    lane gets immediate service without letting it starve the rest.
+//
+// Determinism: LatencyTracker mutates only in the lane-parallel region
+// (lane-local state); CodelControl decisions and fq assignments happen on
+// the scheduling thread in lane/list order. Outcomes and every CSV remain
+// pure functions of (trace, config minus threads).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "stream/scheduler.hpp"
+
+namespace qec {
+
+/// Per-lane sojourn clock: exact end-to-end round latency of every decoded
+/// difference layer. Push events timestamp layers at enqueue; pop events
+/// (reported by OnlineStepper::spend) close the samples.
+class LatencyTracker {
+ public:
+  /// A layer entered the lane's Reg in global round `round`. `real` marks
+  /// trace layers; clean drain layers ride the same FIFO (pop attribution
+  /// needs every enqueue) but do not produce latency samples.
+  void on_push(std::int64_t round, bool real);
+
+  /// The engine fully decoded (popped) `count` layers during global round
+  /// `round`. Records one sample per real layer: round - push_round + 1,
+  /// i.e. a layer decoded within its arrival interval has sojourn 1.
+  /// Throws std::logic_error if more pops are reported than layers are in
+  /// flight (an accounting bug, never a data condition).
+  void on_pops(int count, std::int64_t round);
+
+  /// Age of the oldest resident layer at the start of round `now`: the
+  /// completed rounds it has waited so far (>= 1 once it survives its
+  /// arrival round). 0 when nothing is in flight — the CoDel observable.
+  std::int64_t head_age(std::int64_t now) const;
+
+  /// Layers pushed but not yet popped.
+  int in_flight() const { return static_cast<int>(in_flight_.size()); }
+
+  /// Completed sojourn samples (rounds, >= 1), in pop order.
+  const std::vector<std::uint64_t>& samples() const { return samples_; }
+
+  /// Exact nearest-rank percentile over the samples (0 when empty).
+  std::uint64_t percentile(double q) const {
+    return percentile_nearest_rank(samples_, q);
+  }
+
+  /// Moves the samples out (telemetry finalization).
+  std::vector<std::uint64_t> take_samples() { return std::move(samples_); }
+
+ private:
+  struct InFlight {
+    std::int64_t round = 0;
+    bool real = false;
+  };
+  std::deque<InFlight> in_flight_;
+  std::vector<std::uint64_t> samples_;
+};
+
+/// CoDel's control law in logical rounds, one instance per lane. The
+/// caller observes the lane once per scheduling round (pre-push) and asks
+/// should_pause() while the lane is admitted, should_resume() while it is
+/// paused; on_resume() must be called when the lane is re-admitted so
+/// consecutive pauses are detected.
+///
+/// Law (the ACM-queue CoDel state machine, rounds for nanoseconds, pause
+/// for drop): the lane is "above" while its head sojourn is >= target and
+/// at least 2 layers are resident (one resident layer is not a standing
+/// queue — the MTU guard). The first above round arms a deadline one
+/// interval out; staying above through the deadline pauses the lane. The
+/// k-th consecutive pause uses a deadline of interval/sqrt(k) rounds —
+/// persistent congestion is squeezed harder. The consecutive count resets
+/// once the lane stays healthy for longer than `interval` after a resume.
+class CodelControl {
+ public:
+  CodelControl() = default;
+  CodelControl(int target, int interval) : target_(target), interval_(interval) {}
+
+  /// One admitted-round observation. `sojourn` is the lane's head age,
+  /// `depth` its stored layers. True = pause the lane now (the decision
+  /// is consumed: the armed deadline resets and the pause count bumps).
+  bool should_pause(std::int64_t now, std::int64_t sojourn, int depth);
+
+  /// One paused-round observation: re-admit once the backlog's head
+  /// sojourn fell below target or the queue fully drained.
+  bool should_resume(std::int64_t sojourn, int depth) const {
+    return depth == 0 || sojourn < target_;
+  }
+
+  /// The lane was re-admitted in round `now` (starts the consecutive-pause
+  /// window).
+  void on_resume(std::int64_t now) { last_resume_ = now; }
+
+  int target() const { return target_; }
+  int interval() const { return interval_; }
+  /// Consecutive pauses so far (the sqrt divisor); resets after a healthy
+  /// interval.
+  int consecutive_pauses() const { return count_; }
+  /// Deadline the (count+1)-th consecutive pause would use, in rounds.
+  std::int64_t next_deadline_rounds() const { return shrunk_interval(count_ + 1); }
+
+ private:
+  std::int64_t shrunk_interval(int k) const;
+
+  static constexpr std::int64_t kNever = INT64_MIN / 4;
+  int target_ = 1;
+  int interval_ = 1;
+  int count_ = 0;                  ///< consecutive pauses (sqrt divisor)
+  std::int64_t armed_at_ = -1;     ///< first consecutive above-target round
+  std::int64_t last_resume_ = kNever;
+};
+
+/// Constructs the `fq` scheduler policy (deficit-round-robin over new/old
+/// lane lists, FQ-CoDel style). Options: quantum (engine cycles granted
+/// per DRR turn, > 0; 0 or absent = one engine grant's worth). Registered
+/// under "fq" in the scheduler-policy registry.
+std::unique_ptr<SchedulerPolicy> make_fq_policy(const DecoderOptions& options);
+
+}  // namespace qec

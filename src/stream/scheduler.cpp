@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "stream/qos.hpp"
+
 namespace qec {
 namespace {
 
@@ -20,7 +22,7 @@ class DedicatedPolicy final : public SchedulerPolicy {
   void validate(int lanes, int engines) const override {
     if (lanes != engines) {
       bad_spec("'dedicated' needs one engine per lane (engines == lanes); "
-               "use round_robin or least_loaded for a shared pool");
+               "use round_robin, least_loaded, or fq for a shared pool");
     }
   }
 
@@ -102,6 +104,9 @@ std::map<std::string, SchedulerPolicyFactory, std::less<>> builtin_policies() {
   factories["least_loaded"] = [](const DecoderOptions&) {
     return std::make_unique<LeastLoadedPolicy>();
   };
+  factories["fq"] = [](const DecoderOptions& options) {
+    return make_fq_policy(options);  // stream/qos.cpp (DRR over new/old lists)
+  };
   return factories;
 }
 
@@ -144,8 +149,8 @@ std::unique_ptr<SchedulerPolicy> make_scheduler_policy(std::string_view spec) {
   auto policy = factory(options);
   if (!policy) bad_spec("factory for '" + std::string(name) + "' failed");
   if (const auto leftover = options.unconsumed(); !leftover.empty()) {
-    bad_spec("policy '" + std::string(name) + "' does not understand '" +
-             leftover.front() + "'");
+    bad_spec("policy '" + std::string(name) + "' does not understand " +
+             DecoderOptions::join_keys(leftover));
   }
   return policy;
 }

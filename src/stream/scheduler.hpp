@@ -18,6 +18,12 @@
 //                lane index); the K top-ranked live lanes are served. The
 //                name is the engine's view — a free engine grabs the most
 //                backed-up lane, i.e. work goes where load is highest.
+//   fq           FQ-CoDel-style fair scheduler: deficit-round-robin over
+//                new/old lane lists with a configurable quantum of engine
+//                cycles per turn (option: quantum, default one grant's
+//                worth). Freshly-bursting lanes are served once with
+//                priority, then rotate into the old list. Implemented in
+//                stream/qos.cpp (make_fq_policy).
 //
 // Determinism contract: assign() is called once per round on the scheduling
 // thread, in round order, and must be a pure function of (view, options,
@@ -48,13 +54,18 @@ struct ScheduleView {
   const int* depth = nullptr;
   /// Lane overflowed or drained — serving it wastes the engine (size lanes).
   const std::uint8_t* finished = nullptr;
-  /// Lane paused by admission control (admission=pause, size lanes) —
-  /// non-schedulable: its logical clock is frozen, so state-aware
-  /// policies must not spend an engine on it. The admission controller
-  /// itself grants engines the policy leaves idle to paused lanes so
-  /// their backlog drains. Null when admission control is off
+  /// Lane paused by admission control (admission=pause/codel, size
+  /// lanes) — non-schedulable: its logical clock is frozen, so
+  /// state-aware policies must not spend an engine on it. The admission
+  /// controller itself grants engines the policy leaves idle to paused
+  /// lanes so their backlog drains. Null when admission control is off
   /// (admission=overflow, the PR 3 behaviour).
   const std::uint8_t* paused = nullptr;
+
+  /// Decode cycles one engine grant delivers this round
+  /// (StreamConfig::cycles_per_round; <= 0 = unconstrained). Quantum-based
+  /// policies (fq) charge this against a lane's DRR deficit.
+  double grant_cycles = 0.0;
 
   /// True when the lane can usefully be scheduled this round: it is
   /// neither finished nor paused by admission control.

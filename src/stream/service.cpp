@@ -8,6 +8,7 @@
 #include "qecool/online_runner.hpp"
 #include "sim/executor.hpp"
 #include "stream/admission.hpp"
+#include "stream/qos.hpp"
 #include "stream/scheduler.hpp"
 #include "surface_code/planar_lattice.hpp"
 
@@ -56,6 +57,16 @@ struct Lane {
 
   OnlineStepper stepper;
   LaneTelemetry telemetry;
+
+  /// Sojourn clock: timestamps every pushed layer with the global round
+  /// and closes a latency sample on every pop spend() reports. Mutated
+  /// only inside the lane-parallel region (lane-local); read on the
+  /// scheduling thread between dispatches (head_age for CoDel).
+  LatencyTracker qos;
+
+  /// CoDel control law state (admission=codel only); driven on the
+  /// scheduling thread in lane order.
+  CodelControl codel;
 
   /// Next trace layer this lane will consume (admission pause mode: a
   /// paused lane's cursor freezes while the global round marches on).
@@ -125,6 +136,7 @@ class PoolScheduler {
     view.engines = engines_;
     view.depth = depth_.data();
     view.finished = finished_.data();
+    view.grant_cycles = config_.cycles_per_round;
     for (int r = 0; r < count; ++r) {
       view.round = start + r;
       // Reset so a policy that leaves an engine's entry untouched idles it
@@ -168,6 +180,7 @@ class PoolScheduler {
         std::uint8_t flags = kActive;
         if (pushed) {
           flags |= kPushed;
+          lane.qos.on_push(start + r, /*real=*/!drain);
           if (drain) {
             ++lane.telemetry.drain_rounds;
           } else {
@@ -175,6 +188,7 @@ class PoolScheduler {
           }
           if (grant_[idx] >= 0) {
             cycles_[idx] = lane.stepper.spend(config_.cycles_per_round);
+            lane.qos.on_pops(lane.stepper.last_spend_pops(), start + r);
             flags |= kServed;
             ++lane.telemetry.served_rounds;
           } else if (backlog) {
@@ -262,18 +276,41 @@ class PoolScheduler {
       bool finished = lane.finished_admission(trace_rounds);
       if (!finished) {
         if (lane.stepper.paused()) {
-          if (depth <= admission_.low_water) {
+          // Codel re-admits when the standing latency dissolved (head
+          // sojourn back under target) or the backlog drained to the
+          // low-water mark — whichever comes first; pause mode uses the
+          // depth mark alone.
+          const bool readmit =
+              depth <= admission_.low_water ||
+              (admission_.codel() &&
+               lane.codel.should_resume(lane.qos.head_age(round), depth));
+          if (readmit) {
             lane.stepper.resume();
             ++lane.telemetry.resumes;
+            if (admission_.codel()) lane.codel.on_resume(round);
             // A fully drained lane with no trace left finishes on resume.
             finished = lane.finished_admission(trace_rounds);
           }
-        } else if (depth >= admission_.high_water) {
-          // checkpoint() freezes the clock; the returned patch snapshot
-          // is the host-offload view, which the service itself does not
-          // need — tests exercise it directly.
-          (void)lane.stepper.checkpoint();
-          ++lane.telemetry.pauses;
+        } else {
+          bool freeze;
+          if (admission_.codel()) {
+            // The CoDel law observes every admitted round (the call arms
+            // and disarms its deadline); the depth high-water mark stays
+            // behind it as the overflow backstop, so codel never loses a
+            // lane that pause mode would have kept.
+            freeze = lane.codel.should_pause(round, lane.qos.head_age(round),
+                                             depth) ||
+                     depth >= admission_.high_water;
+          } else {
+            freeze = depth >= admission_.high_water;
+          }
+          if (freeze) {
+            // checkpoint() freezes the clock; the returned patch snapshot
+            // is the host-offload view, which the service itself does not
+            // need — tests exercise it directly.
+            (void)lane.stepper.checkpoint();
+            ++lane.telemetry.pauses;
+          }
         }
       }
       finished_[static_cast<std::size_t>(i)] = finished ? 1 : 0;
@@ -291,6 +328,7 @@ class PoolScheduler {
     view.depth = depth_.data();
     view.finished = finished_.data();
     view.paused = paused_.data();
+    view.grant_cycles = config_.cycles_per_round;
     std::fill(assignment_.begin(), assignment_.end(), -1);
     policy_.assign(view, assignment_);
     assignments_.assign(static_cast<std::size_t>(engines_), -1);
@@ -346,6 +384,7 @@ class PoolScheduler {
         ++lane.telemetry.paused_rounds;
         if (grant_[idx] >= 0) {
           cycles_[idx] = lane.stepper.spend(config_.cycles_per_round);
+          lane.qos.on_pops(lane.stepper.last_spend_pops(), round);
           flags |= kServed;
           ++lane.telemetry.served_rounds;
         }
@@ -358,16 +397,21 @@ class PoolScheduler {
           if (pushed) {
             ++lane.cursor;
             ++lane.telemetry.rounds_streamed;
+            lane.qos.on_push(round, /*real=*/true);
             flags |= kRealPush;
           }
         } else {
           pushed = lane.stepper.push_clean();
-          if (pushed) ++lane.telemetry.drain_rounds;
+          if (pushed) {
+            ++lane.telemetry.drain_rounds;
+            lane.qos.on_push(round, /*real=*/false);
+          }
         }
         if (pushed) {
           flags |= kPushed;
           if (grant_[idx] >= 0) {
             cycles_[idx] = lane.stepper.spend(config_.cycles_per_round);
+            lane.qos.on_pops(lane.stepper.last_spend_pops(), round);
             flags |= kServed;
             ++lane.telemetry.served_rounds;
           } else if (backlog) {
@@ -526,6 +570,11 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
   for (int i = 0; i < n; ++i) {
     lanes.emplace_back(lattice, online, i, engine_config.reg_depth + 1);
   }
+  if (admission.codel()) {
+    for (auto& lane : lanes) {
+      lane.codel = CodelControl(admission.target, admission.interval);
+    }
+  }
 
   StreamOutcome outcome;
   outcome.telemetry.distance = static_cast<int>(trace.header().distance);
@@ -602,6 +651,7 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
     t.popped_layers = static_cast<int>(result.layer_cycles.size());
     t.total_cycles = result.total_cycles;
     t.layer_cycles = result.layer_cycles;
+    t.sojourn_rounds = lane.qos.take_samples();
     t.matches = result.matches;
     if (!result.overflow && drained) {
       SyndromeHistory truth;

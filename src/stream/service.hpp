@@ -14,11 +14,16 @@
 //
 // Admission control (stream/admission.hpp) decides what happens when a
 // lane's queues fill: admission=overflow lets the next push overflow the
-// Reg and kill the lane (the PR 3 behaviour, byte-identical), while
+// Reg and kill the lane (the PR 3 behaviour, byte-identical),
 // admission=pause freezes the lane's logical clock at the high-water
 // mark, drains its backlog on engines the policy leaves idle, and
-// re-admits it at the low-water mark. budget_w ties the pool size K to
-// the 4-K-stage power budget through the ERSFQ model (PoolPowerModel).
+// re-admits it at the low-water mark, and admission=codel freezes on
+// sustained sojourn latency instead (the CoDel control law in logical
+// rounds, stream/qos.hpp) with the depth mark as overflow backstop.
+// budget_w ties the pool size K to the 4-K-stage power budget through
+// the ERSFQ model (PoolPowerModel). Every pushed layer is timestamped at
+// enqueue, so per-lane end-to-end sojourn percentiles — paused lanes
+// included — come out in write_latency_csv.
 //
 // Determinism contract: every lane is an independent (engine, telemetry)
 // pair; the scheduler advances all live lanes round-by-round over the
@@ -61,7 +66,9 @@ struct StreamConfig {
 
   /// Lane-to-engine scheduling policy spec, resolved via
   /// make_scheduler_policy() — "dedicated", "round_robin",
-  /// "round_robin:offset=3", or "least_loaded".
+  /// "round_robin:offset=3", "least_loaded", or "fq" /
+  /// "fq:quantum=120" (FQ-CoDel-style deficit-round-robin,
+  /// stream/qos.hpp).
   std::string policy = "dedicated";
 
   /// Rounds executed per scheduling dispatch (one parallel_for barrier).
@@ -73,10 +80,13 @@ struct StreamConfig {
   int rounds_per_dispatch = 1;
 
   /// Admission control spec, resolved via parse_admission_spec():
-  /// "overflow" (PR 3 behaviour, byte-identical), "pause" (freeze a
-  /// lane's logical clock instead of overflowing its Reg queues), or
-  /// "pause:high=H,low=L" to set the watermarks explicitly. See
-  /// stream/admission.hpp.
+  /// "overflow" (PR 3 behaviour, byte-identical), "pause" /
+  /// "pause:high=H,low=L" (freeze a lane's logical clock at the queue
+  /// high-water mark instead of overflowing its Reg queues), or "codel" /
+  /// "codel:target=T,interval=I" (freeze on sustained sojourn latency —
+  /// the CoDel control law in logical rounds, anticipating overflow
+  /// instead of waiting for the depth mark). See stream/admission.hpp
+  /// and stream/qos.hpp.
   std::string admission = "overflow";
 
   /// 4-K-stage power budget in watts; > 0 caps the pool at the largest K

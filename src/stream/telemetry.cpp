@@ -55,6 +55,8 @@ void LaneTelemetry::merge(const LaneTelemetry& other) {
   }
   layer_cycles.insert(layer_cycles.end(), other.layer_cycles.begin(),
                       other.layer_cycles.end());
+  sojourn_rounds.insert(sojourn_rounds.end(), other.sojourn_rounds.begin(),
+                        other.sojourn_rounds.end());
   matches.merge(other.matches);
 }
 
@@ -219,6 +221,47 @@ bool StreamTelemetry::write_schedule_csv(const std::string& path) const {
                std::to_string(all.resumes), std::to_string(cycles),
                fmt_double(pool_utilization(), "%.4f"),
                fmt_double(fairness_index(), "%.4f")});
+  csv.flush();
+  return true;
+}
+
+bool StreamTelemetry::write_latency_csv(const std::string& path) const {
+  CsvWriter csv(path, {"lane", "distance", "p", "engine", "policy",
+                       "admission", "engines", "budget", "pauses",
+                       "paused_rounds", "samples", "soj_p50", "soj_p95",
+                       "soj_p99", "soj_max", "soj_mean"});
+  if (!csv.ok()) return false;
+
+  const std::string pool_engines = std::to_string(engines);
+  const auto emit = [&](const LaneTelemetry& t, const std::string& label) {
+    // One sorted copy serves the percentiles, the max, and the mean.
+    std::vector<std::uint64_t> sorted = t.sojourn_rounds;
+    std::sort(sorted.begin(), sorted.end());
+    const auto pct = [&sorted](double q) -> std::uint64_t {
+      if (sorted.empty()) return 0;
+      auto rank = static_cast<std::size_t>(
+          std::ceil(q / 100.0 * static_cast<double>(sorted.size())));
+      rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+      return sorted[rank - 1];
+    };
+    std::uint64_t sum = 0;
+    for (const std::uint64_t s : sorted) sum += s;
+    const double mean =
+        sorted.empty() ? 0.0
+                       : static_cast<double>(sum) /
+                             static_cast<double>(sorted.size());
+    csv.add_row({label, std::to_string(distance), fmt_double(p), engine,
+                 policy, admission, pool_engines,
+                 fmt_double(cycles_per_round), std::to_string(t.pauses),
+                 std::to_string(t.paused_rounds),
+                 std::to_string(sorted.size()), std::to_string(pct(50)),
+                 std::to_string(pct(95)), std::to_string(pct(99)),
+                 std::to_string(sorted.empty() ? 0 : sorted.back()),
+                 fmt_double(mean, "%.4f")});
+  };
+
+  for (const auto& lane : lanes) emit(lane, std::to_string(lane.lane));
+  emit(aggregate(), "all");
   csv.flush();
   return true;
 }

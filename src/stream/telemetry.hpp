@@ -61,6 +61,10 @@ struct LaneTelemetry {
   std::vector<std::uint64_t> depth_hist;
   /// Per-popped-layer working cycles (the latency percentile samples).
   std::vector<std::uint64_t> layer_cycles;
+  /// End-to-end round latency of every decoded trace layer: global pop
+  /// round - push round + 1, in pop order, including rounds the lane
+  /// spent frozen by admission control (stream/qos.hpp LatencyTracker).
+  std::vector<std::uint64_t> sojourn_rounds;
   MatchStats matches;
 
   /// A lane fails when it overflowed, failed to drain, or drained to a
@@ -71,6 +75,10 @@ struct LaneTelemetry {
   int max_depth() const;
   std::uint64_t cycle_percentile(double q) const {
     return percentile_nearest_rank(layer_cycles, q);
+  }
+  /// Exact nearest-rank percentile of the end-to-end sojourn samples.
+  std::uint64_t sojourn_percentile(double q) const {
+    return percentile_nearest_rank(sojourn_rounds, q);
   }
 
   /// Folds another lane in (the aggregate row).
@@ -171,6 +179,12 @@ struct StreamTelemetry {
   /// round: live/served/starved lane counts, cumulative overflows, depth
   /// sum/mean/max, and cycles consumed.
   bool write_timeline_csv(const std::string& path) const;
+
+  /// End-to-end round-latency report: one row per lane plus a final "all"
+  /// aggregate row with exact p50/p95/p99/max/mean sojourn in logical
+  /// rounds over the lane's decoded trace layers — paused lanes included
+  /// (their samples span the freeze). See docs/streaming.md §3.4.
+  bool write_latency_csv(const std::string& path) const;
 };
 
 }  // namespace qec

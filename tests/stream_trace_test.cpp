@@ -140,6 +140,99 @@ TEST(StreamTrace, InconsistentDimensionsThrow) {
   std::remove(path.c_str());
 }
 
+/// Serializes a hand-crafted v1 trace file: the given header fields, a
+/// payload of `payload_bytes` zero bytes, and a *valid* FNV-1a checksum
+/// over that payload — so only the header/length validation can reject
+/// it, never the checksum.
+std::vector<char> craft_trace(std::uint32_t distance, std::uint32_t lanes,
+                              std::uint32_t rounds, std::uint32_t checks,
+                              std::uint32_t data_qubits,
+                              std::size_t payload_bytes) {
+  std::vector<std::uint8_t> blob;
+  const auto put32 = [&blob](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      blob.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  const auto put64 = [&blob](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      blob.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put32(TraceHeader::kMagic);
+  put32(TraceHeader::kVersion);
+  put32(distance);
+  put32(lanes);
+  put32(rounds);
+  put32(checks);
+  put32(data_qubits);
+  put64(0);  // seed
+  put64(0);  // p_data (0.0 bits)
+  put64(0);  // p_meas
+  const std::vector<std::uint8_t> payload(payload_bytes, 0);
+  blob.insert(blob.end(), payload.begin(), payload.end());
+  put64(fnv1a64(payload.data(), payload.size()));
+  return std::vector<char>(blob.begin(), blob.end());
+}
+
+TEST(StreamTrace, ChecksumValidButTruncatedPayloadThrows) {
+  // d=5: 3-byte layers, 6-byte final errors. The header claims 2 lanes x
+  // 4 rounds (2*4*3 + 2*6 = 36 payload bytes) but the file carries only
+  // 30 — with a checksum that is *valid over the 30 bytes present*, so a
+  // loader that trusts the checksum alone would accept a file missing
+  // two syndrome layers. The length check must reject it first.
+  const std::string path = temp_path("short_but_checksummed.qtrc");
+  write_all(path, craft_trace(5, 2, 4, 20, 41, 30));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  // Same with trailing garbage: 36 expected, 40 present, checksum valid
+  // over all 40.
+  write_all(path, craft_trace(5, 2, 4, 20, 41, 40));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  // The exact length with a valid checksum loads fine (the crafted
+  // all-zero payload is a legal trace).
+  write_all(path, craft_trace(5, 2, 4, 20, 41, 36));
+  EXPECT_NO_THROW(SyndromeTrace::load(path));
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, MaxU32RoundsThrowsBeforeAllocating) {
+  // rounds = 2^32 - 1 with one lane claims a ~12.9 GB payload; the file
+  // carries 36 bytes. The loader must reject on the length check without
+  // ever sizing a buffer from the header.
+  const std::uint32_t max_u32 = 0xFFFFFFFFu;
+  const std::string path = temp_path("max_rounds.qtrc");
+  write_all(path, craft_trace(5, 1, max_u32, 20, 41, 36));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  // Same for max-u32 lanes, and for both at once (whose layer count
+  // approaches 2^64 — the size arithmetic must not wrap on the way to
+  // the rejection either).
+  write_all(path, craft_trace(5, max_u32, 1, 20, 41, 36));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  write_all(path, craft_trace(5, max_u32, max_u32, 20, 41, 36));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, DegenerateAndInconsistentHeadersThrow) {
+  const std::string path = temp_path("degenerate.qtrc");
+  // Zero lanes / zero rounds.
+  write_all(path, craft_trace(5, 0, 4, 20, 41, 0));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  write_all(path, craft_trace(5, 2, 0, 20, 41, 12));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  // Implausible distances (too small, too large to be a real lattice).
+  write_all(path, craft_trace(1, 2, 4, 0, 1, 8));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  write_all(path, craft_trace(2000, 2, 4, 3998000, 7996001, 8));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  // check/data counts that do not match the claimed distance.
+  write_all(path, craft_trace(5, 2, 4, 21, 41, 36));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  write_all(path, craft_trace(5, 2, 4, 20, 40, 36));
+  EXPECT_THROW(SyndromeTrace::load(path), TraceError);
+  std::remove(path.c_str());
+}
+
 TEST(StreamTrace, WrappingSizeHeaderThrowsInsteadOfAllocating) {
   // Adversarial header: at d=5 (3-byte layers, 6-byte final errors) the
   // payload size 3*lanes*rounds + 6*lanes of these lane/round counts is

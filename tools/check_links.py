@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Markdown link checker: dead relative links fail the build.
+"""Markdown link checker: dead relative links and anchors fail the build.
 
 Scans the given markdown files (or the repo's default doc set) for inline
 links and images `[text](target)`, resolves every relative target against
 the file's directory, and exits non-zero listing any target that does not
-exist. External links (http/https/mailto) and pure in-page anchors are
-skipped; `target#anchor` is checked for file existence only.
+exist. External links (http/https/mailto) are skipped. Anchored targets —
+`target#anchor` and pure in-page `#anchor` links — are additionally
+checked against the GitHub-style heading slugs of the target file, so a
+link to a renamed section fails the build just like a link to a renamed
+file.
 
 Usage: tools/check_links.py [file.md ...]
 """
@@ -16,6 +19,7 @@ import sys
 # Inline links/images. [text](target "title") — capture the target up to
 # the first whitespace or closing paren.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 
 DEFAULT_FILES = [
@@ -37,19 +41,55 @@ def strip_code(text):
     return re.sub(r"`[^`\n]*`", "", text)
 
 
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    slug = heading.strip().lower()
+    # Inline code/emphasis markers do not survive into the anchor
+    # (underscores do — GitHub keeps them).
+    slug = re.sub(r"[`*]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    """All heading anchors of a markdown file (duplicate slugs get -N)."""
+    if path not in cache:
+        anchors = set()
+        counts = {}
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = re.sub(r"```.*?```", "", handle.read(), flags=re.DOTALL)
+        except OSError:
+            text = ""
+        for match in HEADING_RE.finditer(text):
+            slug = github_slug(match.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = anchors
+    return cache[path]
+
+
 def check_file(path):
     dead = []
     with open(path, encoding="utf-8") as handle:
         text = strip_code(handle.read())
     for match in LINK_RE.finditer(text):
         target = match.group(1)
-        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+        if target.startswith(SKIP_PREFIXES):
             continue
+        file_part, _, anchor = target.partition("#")
         resolved = os.path.normpath(
-            os.path.join(os.path.dirname(path) or ".", target.split("#", 1)[0])
+            os.path.join(os.path.dirname(path) or ".", file_part)
+            if file_part
+            else path
         )
         if not os.path.exists(resolved):
-            dead.append((target, resolved))
+            dead.append((target, f"no such file: {resolved}"))
+            continue
+        if anchor and resolved.endswith(".md"):
+            if anchor.lower() not in anchors_of(resolved):
+                dead.append((target, f"no heading '#{anchor}' in {resolved}"))
     return dead
 
 
@@ -63,8 +103,8 @@ def main(argv):
 
     failures = 0
     for path in files:
-        for target, resolved in check_file(path):
-            print(f"{path}: dead link '{target}' -> {resolved}", file=sys.stderr)
+        for target, reason in check_file(path):
+            print(f"{path}: dead link '{target}' ({reason})", file=sys.stderr)
             failures += 1
     if failures:
         print(f"check_links: {failures} dead link(s)", file=sys.stderr)
