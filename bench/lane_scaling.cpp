@@ -51,7 +51,11 @@ constexpr const char* kOptions =
     "  --drain=1000          max drain rounds after the trace ends\n"
     "  --threads=1           worker threads (0 = all cores; never changes "
     "results)\n"
-    "  --csv=FILE            write the scaling CSV to FILE\n";
+    "  --csv=FILE            write the scaling CSV to FILE\n"
+    "  --json=FILE           write a machine-readable run record to FILE\n"
+    "                        (config, git revision, wall-clock and\n"
+    "                        lane-rounds/s per cell — the format pinned in\n"
+    "                        BENCH_lane_scaling.json)\n";
 
 }  // namespace
 
@@ -88,6 +92,8 @@ int main(int argc, char** argv) {
     }
 
     const std::string csv_path = args.get_or("csv", "");
+    const std::string json_path = args.get_or("json", "");
+    std::vector<std::string> json_cells;
     qec::CsvWriter csv(csv_path.empty() ? "/dev/null" : csv_path,
                        {"lanes", "d", "mhz", "engines", "policy", "rounds",
                         "record_ms", "replay_ms", "streamed_lane_rounds",
@@ -147,6 +153,24 @@ int main(int argc, char** argv) {
                        fmt(rounds_per_sec, "%.4g"),
                        std::to_string(outcome.failed_lanes) + "/" +
                            std::to_string(outcome.lanes)});
+        if (!json_path.empty()) {
+          json_cells.push_back(
+              qec::bench::JsonObject()
+                  .add("lanes", outcome.lanes)
+                  .add("mhz", mhz)
+                  .add("engines", outcome.telemetry.engines)
+                  .add("rounds", trace.rounds())
+                  .add("record_ms", record_ms)
+                  .add("replay_ms", replay_ms)
+                  .add("streamed_lane_rounds",
+                       static_cast<std::int64_t>(lane_rounds))
+                  .add("us_per_lane_round", us_per_round)
+                  .add("lane_rounds_per_sec", rounds_per_sec)
+                  .add("overflow_lanes", outcome.overflow_lanes)
+                  .add("failed_lanes", outcome.failed_lanes)
+                  .add("failed_frac", failed_frac)
+                  .str());
+        }
       }
     }
     table.print();
@@ -155,6 +179,30 @@ int main(int argc, char** argv) {
                 base.threads, base.rounds_per_dispatch);
     if (!csv_path.empty()) {
       std::printf("scaling curve written to %s\n", csv_path.c_str());
+    }
+    if (!json_path.empty()) {
+      const std::string config_json =
+          qec::bench::JsonObject()
+              .add("d", base.distance)
+              .add("p", base.p)
+              .add("rounds", base.rounds)
+              .add("seed", static_cast<std::int64_t>(base.seed))
+              .add("engine", base.engine)
+              .add("policy", base.policy)
+              .add("engines", base.engines)
+              .add("dispatch", base.rounds_per_dispatch)
+              .add("threads", base.threads)
+              .add_raw("lanes", qec::bench::json_array(lane_counts))
+              .add_raw("mhz", qec::bench::json_array(clocks_mhz))
+              .str();
+      qec::bench::write_json_file(
+          json_path, qec::bench::JsonObject()
+                         .add("bench", "lane_scaling")
+                         .add("git_rev", qec::bench::git_revision())
+                         .add_raw("config", config_json)
+                         .add_raw("cells", qec::bench::json_array(json_cells))
+                         .str());
+      std::printf("run record written to %s\n", json_path.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

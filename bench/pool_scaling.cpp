@@ -91,7 +91,10 @@ constexpr const char* kOptions =
     "  --threads=1           worker threads (0 = all cores; never changes "
     "results)\n"
     "  --csv=FILE            write the sweep CSV to FILE\n"
-    "  --latency-csv=FILE    per-lane sojourn latency rows for every cell\n";
+    "  --latency-csv=FILE    per-lane sojourn latency rows for every cell\n"
+    "  --json=FILE           write a machine-readable run record to FILE\n"
+    "                        (config, git revision, per-cell wall-clock and\n"
+    "                        lane-rounds/s — same shape as lane_scaling's)\n";
 
 }  // namespace
 
@@ -172,6 +175,9 @@ int main(int argc, char** argv) {
                         "fairness", "starved_rounds", "paused_rounds",
                         "soj_p50", "soj_p95", "soj_p99", "soj_max"});
 
+    const std::string json_path = args.get_or("json", "");
+    std::vector<std::string> json_cells;
+
     const std::string latency_path = args.get_or("latency-csv", "");
     qec::CsvWriter latency_csv(
         latency_path.empty() ? "/dev/null" : latency_path,
@@ -210,7 +216,12 @@ int main(int argc, char** argv) {
             config.admission = admission;
             config.engines = engines;
             config.cycles_per_round = qec::cycles_per_microsecond(mhz * 1e6);
+            const auto cell_start = std::chrono::steady_clock::now();
             const qec::StreamOutcome outcome = qec::run_stream(trace, config);
+            const double replay_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - cell_start)
+                    .count();
 
             // run_stream may have shed K to fit --budget-w; chart what ran.
             const int ran_engines = outcome.telemetry.engines;
@@ -278,6 +289,33 @@ int main(int argc, char** argv) {
               emit_latency(all, "all");
               latency_csv.flush();
             }
+            if (!json_path.empty()) {
+              const std::int64_t lane_rounds =
+                  static_cast<std::int64_t>(all.rounds_streamed) +
+                  all.drain_rounds;
+              json_cells.push_back(
+                  qec::bench::JsonObject()
+                      .add("policy", policy)
+                      .add("admission", admission)
+                      .add("lanes", outcome.lanes)
+                      .add("engines", ran_engines)
+                      .add("mhz", mhz)
+                      .add("replay_ms", replay_ms)
+                      .add("streamed_lane_rounds", lane_rounds)
+                      .add("us_per_lane_round",
+                           lane_rounds ? replay_ms * 1e3 /
+                                             static_cast<double>(lane_rounds)
+                                       : 0.0)
+                      .add("lane_rounds_per_sec",
+                           replay_ms > 0
+                               ? static_cast<double>(lane_rounds) /
+                                     (replay_ms * 1e-3)
+                               : 0.0)
+                      .add("failed_lanes", outcome.failed_lanes)
+                      .add("failed_frac", failed_frac)
+                      .add("watts", watts)
+                      .str());
+            }
             table.add_row({policy, admission, fmt(k_over_n),
                            fmt(mhz, "%.6g"), fmt(watts, "%.3g"),
                            std::to_string(outcome.failed_lanes) + "/" +
@@ -307,6 +345,40 @@ int main(int argc, char** argv) {
     if (!latency_path.empty()) {
       std::printf("per-lane sojourn latency written to %s\n",
                   latency_path.c_str());
+    }
+    if (!json_path.empty()) {
+      std::vector<std::string> policy_items, admission_items, pool_items;
+      for (const auto& p : policies) {
+        policy_items.push_back("\"" + qec::bench::json_escape(p) + "\"");
+      }
+      for (const auto& a : admissions) {
+        admission_items.push_back("\"" + qec::bench::json_escape(a) + "\"");
+      }
+      for (const int k : pool_sizes) pool_items.push_back(std::to_string(k));
+      const std::string config_json =
+          qec::bench::JsonObject()
+              .add("lanes", base.lanes)
+              .add("d", base.distance)
+              .add("p", base.p)
+              .add("rounds", base.rounds)
+              .add("seed", static_cast<std::int64_t>(base.seed))
+              .add("engine", base.engine)
+              .add("dispatch", base.rounds_per_dispatch)
+              .add("threads", base.threads)
+              .add("budget_w", base.budget_w)
+              .add_raw("policies", qec::bench::json_array(policy_items))
+              .add_raw("admissions", qec::bench::json_array(admission_items))
+              .add_raw("engines", qec::bench::json_array(pool_items))
+              .add_raw("mhz", qec::bench::json_array(clocks_mhz))
+              .str();
+      qec::bench::write_json_file(
+          json_path, qec::bench::JsonObject()
+                         .add("bench", "pool_scaling")
+                         .add("git_rev", qec::bench::git_revision())
+                         .add_raw("config", config_json)
+                         .add_raw("cells", qec::bench::json_array(json_cells))
+                         .str());
+      std::printf("run record written to %s\n", json_path.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

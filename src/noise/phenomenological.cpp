@@ -55,6 +55,41 @@ std::vector<BitVec> accumulate_differences(
   return measured;
 }
 
+std::vector<PackedBits> packed_layers(const std::vector<BitVec>& layers) {
+  std::vector<PackedBits> packed;
+  packed.reserve(layers.size());
+  for (const auto& layer : layers) packed.push_back(PackedBits::from_bits(layer));
+  return packed;
+}
+
+std::vector<PackedBits> difference_syndromes(
+    const std::vector<PackedBits>& measured) {
+  std::vector<PackedBits> diff;
+  diff.reserve(measured.size());
+  for (std::size_t t = 0; t < measured.size(); ++t) {
+    if (t == 0) {
+      diff.push_back(measured[0]);
+    } else {
+      diff.push_back(xor_of(measured[t], measured[t - 1]));
+    }
+  }
+  return diff;
+}
+
+std::vector<PackedBits> accumulate_differences(
+    const std::vector<PackedBits>& difference) {
+  std::vector<PackedBits> measured;
+  measured.reserve(difference.size());
+  for (std::size_t t = 0; t < difference.size(); ++t) {
+    if (t == 0) {
+      measured.push_back(difference[0]);
+    } else {
+      measured.push_back(xor_of(difference[t], measured[t - 1]));
+    }
+  }
+  return measured;
+}
+
 int defect_count(const SyndromeHistory& history) {
   int count = 0;
   for (const auto& layer : history.difference) count += weight(layer);

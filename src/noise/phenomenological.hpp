@@ -59,6 +59,22 @@ std::vector<BitVec> difference_syndromes(const std::vector<BitVec>& measured);
 std::vector<BitVec> accumulate_differences(
     const std::vector<BitVec>& difference);
 
+// Packed (word-parallel) counterparts: the streamed datapath keeps
+// difference layers in PackedBits form end-to-end (trace payload ->
+// engine Reg), so generation and accumulation run one XOR per 64 checks.
+
+/// Packs a byte-per-bit layer sequence (the bridge from sample_history
+/// output into the packed trace payload).
+std::vector<PackedBits> packed_layers(const std::vector<BitVec>& layers);
+
+/// Difference layers of a packed measured-syndrome sequence.
+std::vector<PackedBits> difference_syndromes(
+    const std::vector<PackedBits>& measured);
+
+/// Running XOR of packed difference layers (inverse of the above).
+std::vector<PackedBits> accumulate_differences(
+    const std::vector<PackedBits>& difference);
+
 /// Total number of defects (set difference-syndrome bits) in a history.
 int defect_count(const SyndromeHistory& history);
 

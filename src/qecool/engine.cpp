@@ -36,57 +36,61 @@ QecoolEngine::QecoolEngine(const PlanarLattice& lattice,
                 ? config_.nlimit
                 : (rows_ - 1) + (cols_ - 1) + reg_capacity_ + 1;
   c_ = config_.start_at_max_hop ? nlimit_ : 1;
-  reg_.assign(static_cast<std::size_t>(rows_ * cols_) *
-                  static_cast<std::size_t>(reg_capacity_),
-              0);
-  correction_.assign(static_cast<std::size_t>(lattice.num_data()), 0);
+  const auto units = static_cast<std::size_t>(rows_ * cols_);
+  reg_.assign(static_cast<std::size_t>(reg_capacity_), PackedBits(units));
+  occupancy_ = PackedBits(units);
+  correction_ = PackedBits(static_cast<std::size_t>(lattice.num_data()));
+}
+
+bool QecoolEngine::push_layer(const PackedBits& difference_layer) {
+  assert(difference_layer.size() ==
+         static_cast<std::size_t>(rows_ * cols_));
+  if (m_ == reg_capacity_) return false;  // buffer overflow
+  reg_[static_cast<std::size_t>(m_)].copy_from(difference_layer);
+  ++m_;
+  return true;
 }
 
 bool QecoolEngine::push_layer(const BitVec& difference_layer) {
   assert(static_cast<int>(difference_layer.size()) == rows_ * cols_);
   if (m_ == reg_capacity_) return false;  // buffer overflow
-  for (int u = 0; u < rows_ * cols_; ++u) {
-    reg_at(u, m_) = difference_layer[static_cast<std::size_t>(u)];
-  }
+  reg_[static_cast<std::size_t>(m_)].assign_bits(difference_layer);
   ++m_;
   return true;
 }
 
 bool QecoolEngine::all_clear() const {
-  for (int u = 0; u < rows_ * cols_; ++u) {
-    for (int t = 0; t < m_; ++t) {
-      if (reg_at(u, t)) return false;
-    }
+  for (int t = 0; t < m_; ++t) {
+    if (reg_[static_cast<std::size_t>(t)].any()) return false;
   }
   return true;
 }
 
 bool QecoolEngine::reg_bit(int row, int col, int depth) const {
   assert(depth >= 0 && depth < m_);
-  return reg_at(unit_index(row, col), depth) != 0;
+  return reg_[static_cast<std::size_t>(depth)].test(
+      static_cast<std::size_t>(unit_index(row, col)));
 }
 
 bool QecoolEngine::row_has_any_bit(int row) const {
-  for (int col = 0; col < cols_; ++col) {
-    const int u = unit_index(row, col);
-    for (int t = 0; t < m_; ++t) {
-      if (reg_at(u, t)) return true;
+  const auto first = static_cast<std::size_t>(row * cols_);
+  const auto count = static_cast<std::size_t>(cols_);
+  for (int t = 0; t < m_; ++t) {
+    if (reg_[static_cast<std::size_t>(t)].any_in_range(first, count)) {
+      return true;
     }
   }
   return false;
 }
 
 bool QecoolEngine::base_layer_clear() const {
-  if (m_ == 0) return false;
-  for (int u = 0; u < rows_ * cols_; ++u) {
-    if (reg_at(u, 0)) return false;
-  }
-  return true;
+  return m_ > 0 && reg_[0].none();
 }
 
 int QecoolEngine::first_set_depth(int unit, int from_depth) const {
+  const auto u = static_cast<std::size_t>(unit);
   for (int t = from_depth; t < m_; ++t) {
-    if (reg_at(unit, t)) return t;
+    if (reg_[static_cast<std::size_t>(t)].test(u)) return t;
   }
   return -1;
 }
@@ -94,9 +98,7 @@ int QecoolEngine::first_set_depth(int unit, int from_depth) const {
 bool QecoolEngine::has_eligible_base() const {
   for (int b = 0; b < m_; ++b) {
     if (m_ - b <= config_.thv) continue;
-    for (int u = 0; u < rows_ * cols_; ++u) {
-      if (reg_at(u, b)) return true;
-    }
+    if (reg_[static_cast<std::size_t>(b)].any()) return true;
   }
   return false;
 }
@@ -117,24 +119,32 @@ std::optional<QecoolEngine::Candidate> QecoolEngine::best_candidate(
                        self_t, sink_row, sink_col, Candidate::Kind::Self});
   }
 
-  for (int r = 0; r < rows_; ++r) {
-    for (int c = 0; c < cols_; ++c) {
-      if (r == sink_row && c == sink_col) continue;
-      const int t = first_set_depth(unit_index(r, c), base);
-      if (t < 0) continue;
-      const int spatial = std::abs(r - sink_row) + std::abs(c - sink_col);
-      const int arrival = spatial + (t - base);
-      if (arrival > hop_limit) continue;
-      int port;
-      if (c != sink_col) {
-        port = c < sink_col ? kPortWest : kPortEast;
-      } else {
-        port = r < sink_row ? kPortNorth : kPortSouth;
-      }
-      consider(Candidate{2 * static_cast<std::int64_t>(arrival), port, t, r, c,
-                         Candidate::Kind::Unit});
-    }
+  // Spatial candidates: only Units with a resident defect at depth >= base
+  // can answer. Their union is the OR of the resident layers — walk its
+  // set bits instead of scanning the full grid (the spike fan-in is sparse
+  // at any physical error rate worth decoding).
+  occupancy_.copy_from(reg_[static_cast<std::size_t>(base)]);
+  for (int t = base + 1; t < m_; ++t) {
+    occupancy_ |= reg_[static_cast<std::size_t>(t)];
   }
+  occupancy_.for_each_set([&](std::size_t u) {
+    if (static_cast<int>(u) == sink) return;
+    const int r = static_cast<int>(u) / cols_;
+    const int c = static_cast<int>(u) % cols_;
+    const int t = first_set_depth(static_cast<int>(u), base);
+    assert(t >= 0);
+    const int spatial = std::abs(r - sink_row) + std::abs(c - sink_col);
+    const int arrival = spatial + (t - base);
+    if (arrival > hop_limit) return;
+    int port;
+    if (c != sink_col) {
+      port = c < sink_col ? kPortWest : kPortEast;
+    } else {
+      port = r < sink_row ? kPortNorth : kPortSouth;
+    }
+    consider(Candidate{2 * static_cast<std::int64_t>(arrival), port, t, r, c,
+                       Candidate::Kind::Unit});
+  });
 
   // Boundary Units always answer a requestSpike(); the nearer side wins.
   const int bdist = lattice_.boundary_distance(sink_col);
@@ -152,7 +162,9 @@ std::optional<QecoolEngine::Candidate> QecoolEngine::best_candidate(
 std::uint64_t QecoolEngine::process_unit(int row, int col) {
   std::uint64_t spent = 0;
   const int sink = unit_index(row, col);
-  if (!reg_at(sink, b_)) return spent;
+  if (!reg_[static_cast<std::size_t>(b_)].test(static_cast<std::size_t>(sink))) {
+    return spent;
+  }
 
   spent += config_.cycles.request;
   const auto winner = best_candidate(row, col, b_, c_);
@@ -183,8 +195,9 @@ std::uint64_t QecoolEngine::process_unit(int row, int col) {
     case Candidate::Kind::Self: {
       const int dt = winner->t - b_;
       spent += static_cast<std::uint64_t>(dt);
-      reg_at(sink, b_) = 0;
-      reg_at(sink, winner->t) = 0;
+      reg_[static_cast<std::size_t>(b_)].reset(static_cast<std::size_t>(sink));
+      reg_[static_cast<std::size_t>(winner->t)].reset(
+          static_cast<std::size_t>(sink));
       ++stats_.self_matches;
       stats_.record(dt);
       break;
@@ -199,9 +212,10 @@ std::uint64_t QecoolEngine::process_unit(int row, int col) {
       spent += config_.cycles.correct;
       const std::vector<int> path =
           lattice_.l_path({winner->row, winner->col}, {row, col});
-      for (int q : path) correction_[static_cast<std::size_t>(q)] ^= 1;
-      reg_at(sink, b_) = 0;
-      reg_at(unit_index(winner->row, winner->col), winner->t) = 0;
+      for (int q : path) correction_.flip(static_cast<std::size_t>(q));
+      reg_[static_cast<std::size_t>(b_)].reset(static_cast<std::size_t>(sink));
+      reg_[static_cast<std::size_t>(winner->t)].reset(static_cast<std::size_t>(
+          unit_index(winner->row, winner->col)));
       ++stats_.pair_matches;
       stats_.record(dt);
       break;
@@ -211,8 +225,8 @@ std::uint64_t QecoolEngine::process_unit(int row, int col) {
       spent += static_cast<std::uint64_t>(2 * bdist);
       spent += config_.cycles.correct;
       const std::vector<int> path = lattice_.boundary_path({row, col});
-      for (int q : path) correction_[static_cast<std::size_t>(q)] ^= 1;
-      reg_at(sink, b_) = 0;
+      for (int q : path) correction_.flip(static_cast<std::size_t>(q));
+      reg_[static_cast<std::size_t>(b_)].reset(static_cast<std::size_t>(sink));
       ++stats_.boundary_matches;
       stats_.record(0);
       break;
@@ -223,10 +237,13 @@ std::uint64_t QecoolEngine::process_unit(int row, int col) {
 
 void QecoolEngine::pop_layer() {
   assert(m_ > 0);
-  for (int u = 0; u < rows_ * cols_; ++u) {
-    for (int t = 0; t + 1 < m_; ++t) reg_at(u, t) = reg_at(u, t + 1);
-    reg_at(u, m_ - 1) = 0;
-  }
+  // The base layer is popped only when clean (SHIFTREG): rotating its
+  // all-zero PackedBits to the back both shifts every deeper layer down
+  // one slot and re-establishes the "slots at or past m_ are zero"
+  // invariant — O(depth) moves, no per-Unit work.
+  assert(reg_[0].none());
+  std::rotate(reg_.begin(), reg_.begin() + 1,
+              reg_.begin() + static_cast<std::ptrdiff_t>(m_));
   --m_;
   layer_cycles_.push_back(cycles_ - last_pop_cycles_);
   last_pop_cycles_ = cycles_;

@@ -21,6 +21,16 @@
 //  - After each full (C, b) grid pass the Controller pops the base layer if
 //    it is clean everywhere (SHIFTREG) and restarts at C = 1.
 //
+// Datapath representation: each Reg depth slot is one PackedBits layer (64
+// Units per word), mirroring the SFQ shift registers — occupancy scans
+// (all_clear, row gating, thv eligibility) are word-parallel, layer pops
+// are O(depth) moves instead of O(units x depth) byte shuffles, and the
+// match path walks only the *set* bits of the occupancy mask instead of
+// scanning the full grid. The accumulated correction is packed too. The
+// cycle accounting and match selection are bit-identical to the byte-per-
+// bit implementation: the same candidates are considered and the same
+// deterministic comparator picks the winner.
+//
 // The engine is resumable: run(budget) consumes at most `budget` cycles and
 // can be continued later, which is how the on-line runner models a decoder
 // clocked at f while measurements arrive every 1 us.
@@ -32,6 +42,7 @@
 
 #include "common/stats.hpp"
 #include "qecool/config.hpp"
+#include "surface_code/packed_bits.hpp"
 #include "surface_code/pauli_frame.hpp"
 #include "surface_code/planar_lattice.hpp"
 
@@ -56,7 +67,10 @@ class QecoolEngine {
 
   /// Appends one difference-syndrome layer to every Unit's Reg. Returns
   /// false when the Reg queues are full (buffer overflow — the failure mode
-  /// of Fig 7); the layer is dropped in that case.
+  /// of Fig 7); the layer is dropped in that case. The packed overload is
+  /// the streamed hot path (one word copy per 64 Units); the byte-per-bit
+  /// overload packs and delegates.
+  bool push_layer(const PackedBits& difference_layer);
   bool push_layer(const BitVec& difference_layer);
 
   /// Executes controller work for at most `budget` cycles (use kUnlimited
@@ -73,8 +87,13 @@ class QecoolEngine {
   /// Stored layers currently in the Reg queues.
   int stored_layers() const { return m_; }
 
-  /// Accumulated data-qubit correction from all Syndrome signals so far.
-  const BitVec& correction() const { return correction_; }
+  /// Accumulated data-qubit correction from all Syndrome signals so far,
+  /// in packed form (the in-memory Pauli frame).
+  const PackedBits& correction_packed() const { return correction_; }
+
+  /// Byte-per-bit copy of the accumulated correction (cold-path bridge
+  /// for scoring and tests).
+  BitVec correction() const { return correction_.to_bits(); }
 
   /// Total working cycles since construction.
   std::uint64_t total_cycles() const { return cycles_; }
@@ -112,14 +131,6 @@ class QecoolEngine {
   int unit_index(int row, int col) const {
     return row * cols_ + col;
   }
-  std::uint8_t& reg_at(int unit, int depth) {
-    return reg_[static_cast<std::size_t>(unit) * reg_capacity_ +
-                static_cast<std::size_t>(depth)];
-  }
-  std::uint8_t reg_at(int unit, int depth) const {
-    return reg_[static_cast<std::size_t>(unit) * reg_capacity_ +
-                static_cast<std::size_t>(depth)];
-  }
 
   bool row_has_any_bit(int row) const;
   bool base_layer_clear() const;
@@ -133,7 +144,6 @@ class QecoolEngine {
   void pop_layer();
   /// True if any base layer is eligible for decoding under thv.
   bool has_eligible_base() const;
-  int max_eligible_base() const;
 
   const PlanarLattice& lattice_;
   QecoolConfig config_;
@@ -141,9 +151,15 @@ class QecoolEngine {
   int cols_ = 0;
   int reg_capacity_ = 0;
   int nlimit_ = 0;
-  std::vector<std::uint8_t> reg_;  // [unit][depth], row-major
+  /// Reg queues, one packed layer per depth slot; slots at or past m_ are
+  /// always all-zero (pushes land at m_, pops rotate the clean base layer
+  /// to the back).
+  std::vector<PackedBits> reg_;
   int m_ = 0;                      // stored layers
-  BitVec correction_;
+  PackedBits correction_;
+  /// Scratch for best_candidate(): OR of the resident layers at or above
+  /// the base depth — the units that could answer a requestSpike().
+  mutable PackedBits occupancy_;
 
   // Resumable controller position.
   int c_ = 1;    // current hop limit (1..nlimit_)

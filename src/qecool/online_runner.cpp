@@ -7,8 +7,26 @@ namespace qec {
 OnlineStepper::OnlineStepper(const PlanarLattice& lattice,
                              const OnlineConfig& config)
     : engine_(lattice, config.engine),
-      clean_(static_cast<std::size_t>(lattice.num_checks()), 0),
+      clean_(static_cast<std::size_t>(lattice.num_checks())),
       per_round_(config.cycles_per_round) {}
+
+bool OnlineStepper::note_push(bool accepted) {
+  if (!accepted) {
+    overflow_ = true;
+    return false;
+  }
+  ++rounds_;
+  return true;
+}
+
+bool OnlineStepper::push(const PackedBits& layer) {
+  if (paused_) {
+    throw std::logic_error(
+        "online stepper: push() while paused — resume() first");
+  }
+  if (overflow_) return false;
+  return note_push(engine_.push_layer(layer));
+}
 
 bool OnlineStepper::push(const BitVec& layer) {
   if (paused_) {
@@ -16,12 +34,7 @@ bool OnlineStepper::push(const BitVec& layer) {
         "online stepper: push() while paused — resume() first");
   }
   if (overflow_) return false;
-  if (!engine_.push_layer(layer)) {
-    overflow_ = true;
-    return false;
-  }
-  ++rounds_;
-  return true;
+  return note_push(engine_.push_layer(layer));
 }
 
 std::uint64_t OnlineStepper::spend(double cycles) {
@@ -43,6 +56,12 @@ std::uint64_t OnlineStepper::spend(double cycles) {
   }
   last_spend_pops_ = engine_.popped_layers() - popped_before;
   return consumed;
+}
+
+bool OnlineStepper::step(const PackedBits& layer) {
+  if (!push(layer)) return false;
+  spend(per_round_);
+  return true;
 }
 
 bool OnlineStepper::step(const BitVec& layer) {

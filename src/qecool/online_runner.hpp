@@ -88,7 +88,10 @@ class OnlineStepper {
   /// Pushes one difference layer without spending any decode cycles.
   /// Returns false when the Reg queues overflow — a terminal state; later
   /// calls are no-ops returning false. Throws std::logic_error while
-  /// paused: a frozen logical clock produces no layers.
+  /// paused: a frozen logical clock produces no layers. The packed
+  /// overload is the streamed hot path (the trace hands out packed
+  /// layers); the byte-per-bit overload serves the offline loop and tests.
+  bool push(const PackedBits& layer);
   bool push(const BitVec& layer);
 
   /// Pushes an all-zero layer (the drain phase after the last real round).
@@ -111,6 +114,7 @@ class OnlineStepper {
 
   /// push() + spend() of this round's configured budget — the dedicated
   /// engine behaviour. Returns false when the Reg queues overflow.
+  bool step(const PackedBits& layer);
   bool step(const BitVec& layer);
 
   /// Streams an all-zero layer (the drain phase after the last real round).
@@ -146,8 +150,11 @@ class OnlineStepper {
   OnlineResult result() const;
 
  private:
+  /// Shared overflow/round bookkeeping behind both push overloads.
+  bool note_push(bool accepted);
+
   QecoolEngine engine_;
-  BitVec clean_;
+  PackedBits clean_;
   double per_round_ = 0.0;  ///< <= 0: unconstrained.
   double carry_ = 0.0;      ///< fractional budget carried across rounds.
   bool overflow_ = false;

@@ -68,8 +68,9 @@ struct AdmissionConfig {
   int target = 0;
 
   /// kCodel: control interval in logical rounds (the sustained-congestion
-  /// window; consecutive pauses shrink it by 1/sqrt(count)). 0 selects
-  /// the automatic interval: 2 * reg_depth.
+  /// window; consecutive pauses shrink it by 1/sqrt(count), computed in
+  /// Q0.32 fixed point — see codel_rec_inv_sqrt in stream/qos.hpp). 0
+  /// selects the automatic interval: 2 * reg_depth.
   int interval = 0;
 
   /// Admission-controlled modes: the service runs the pause/drain/resume

@@ -1,10 +1,65 @@
 #include "stream/qos.hpp"
 
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 namespace qec {
+
+std::uint32_t codel_newton_step(std::uint32_t rec_inv_sqrt,
+                                std::uint32_t count) {
+  // v' = v/2 * (3 - k v^2), all in Q0.32. The invariant v <= 1/sqrt(k)
+  // keeps k * v^2 <= 1, so the 64-bit intermediates cannot overflow.
+  const std::uint64_t v = rec_inv_sqrt;
+  const std::uint64_t v2 = (v * v) >> 32;               // Q0.32 of v^2
+  std::uint64_t val = (3ULL << 32) - count * v2;        // Q2.32 of 3 - k v^2
+  val >>= 2;                                            // (3 - k v^2) / 4
+  val = (val * v) >> 31;                                // v (3 - k v^2) / 2
+  return val > 0xffffffffULL ? 0xffffffffU
+                             : static_cast<std::uint32_t>(val);
+}
+
+std::uint32_t codel_rec_inv_sqrt(std::uint32_t count) {
+  if (count <= 1) return 0xffffffffU;  // saturated 1.0
+  // Seed with 2^-ceil(bit_width/2): a power-of-two underestimate of
+  // 1/sqrt(count), so Newton climbs toward the root. Convergence is
+  // quadratic, but the truncating Q0.32 arithmetic can stall a few ULP
+  // short or (for large counts, where v^2 carries few significant bits)
+  // drift past it, so the loop runs to its first non-increasing step and
+  // a correction pass lands exactly on round(2^32 / sqrt(count)).
+  const int width = std::bit_width(count);
+  std::uint32_t v = 1U << (32 - (width + 1) / 2);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t next = codel_newton_step(v, count);
+    if (next <= v) break;
+    v = next;
+  }
+  // Exact rounding, still integer-only: the floor f of 2^32 / sqrt(k) is
+  // the largest v with v^2 k <= 2^64, and rounding to nearest picks f + 1
+  // exactly when (2f + 1)^2 k < 2^66 (the half-point test squared). The
+  // wide products are bounded by 2^98, well inside 128 bits.
+  using u128 = unsigned __int128;
+  const u128 k = count;
+  const u128 limit = u128{1} << 64;
+  while (u128{v} * v * k > limit) --v;
+  while ((u128{v} + 1) * (u128{v} + 1) * k <= limit) ++v;
+  const u128 half = 2 * u128{v} + 1;
+  if (half * half * k < u128{1} << 66) ++v;
+  return v;
+}
+
+std::int64_t codel_shrunk_interval(std::int64_t interval,
+                                   std::uint32_t rec_inv_sqrt) {
+  // Round-half-up of interval * rec_inv_sqrt / 2^32: identical to
+  // llround(interval / sqrt(k)) for positive values. The product is
+  // bounded by (2^31 - 1)(2^32 - 1) < 2^63, so uint64 cannot wrap.
+  const std::uint64_t product =
+      static_cast<std::uint64_t>(interval) * rec_inv_sqrt;
+  const auto shrunk =
+      static_cast<std::int64_t>((product + (1ULL << 31)) >> 32);
+  return shrunk < 1 ? 1 : shrunk;
+}
 
 void LatencyTracker::on_push(std::int64_t round, bool real) {
   in_flight_.push_back({round, real});
@@ -29,11 +84,16 @@ std::int64_t LatencyTracker::head_age(std::int64_t now) const {
 }
 
 std::int64_t CodelControl::shrunk_interval(int k) const {
-  // interval / sqrt(count): the classic CoDel drop spacing. llround on an
-  // exact integral quotient is deterministic; never below one round.
-  const auto shrunk = static_cast<std::int64_t>(
-      std::llround(static_cast<double>(interval_) / std::sqrt(static_cast<double>(k))));
-  return shrunk < 1 ? 1 : shrunk;
+  // interval / sqrt(count), the classic CoDel drop spacing — computed
+  // entirely in Q0.32 fixed point (no FPU on the SFQ controller). The
+  // converged reciprocal root is memoized per count: consecutive
+  // observations at the same pause count skip the Newton loop.
+  const auto count = static_cast<std::uint32_t>(k);
+  if (count != memo_count_) {
+    memo_count_ = count;
+    memo_rec_ = codel_rec_inv_sqrt(count);
+  }
+  return codel_shrunk_interval(interval_, memo_rec_);
 }
 
 bool CodelControl::should_pause(std::int64_t now, std::int64_t sojourn,
@@ -69,6 +129,19 @@ namespace {
 /// served ahead of everyone once, then they rotate into the old list like
 /// any other lane, so a burst gets priority service exactly once per
 /// backlog episode.
+// DRR credit is tracked in Q48.16 fixed-point engine cycles (1/65536 of a
+// cycle resolution): doubles cross into the policy only at the config
+// boundary (to_fixed16 below), and every per-round deficit update is pure
+// int64 add/subtract/compare — the arithmetic an SFQ scheduler can
+// actually implement. Grant costs and quanta are round-constant, so the
+// one-time conversion rounds once and the accumulated credit is exact
+// integer arithmetic thereafter.
+constexpr std::int64_t kFix16One = 1 << 16;
+
+std::int64_t to_fixed16(double cycles) {
+  return static_cast<std::int64_t>(std::llround(cycles * 65536.0));
+}
+
 class FqCodelPolicy final : public SchedulerPolicy {
  public:
   explicit FqCodelPolicy(double quantum) : quantum_opt_(quantum) {}
@@ -80,7 +153,7 @@ class FqCodelPolicy final : public SchedulerPolicy {
     const auto n = static_cast<std::size_t>(view.lanes);
     if (membership_.size() != n) {
       membership_.assign(n, List::kNone);
-      deficit_.assign(n, 0.0);
+      deficit_.assign(n, 0);
       new_.clear();
       old_.clear();
     }
@@ -88,8 +161,10 @@ class FqCodelPolicy final : public SchedulerPolicy {
 
     // One engine grant is worth the per-round cycle budget; with an
     // unconstrained budget DRR degenerates to counting grants (cost 1).
-    const double grant_cost = view.grant_cycles > 0 ? view.grant_cycles : 1.0;
-    const double quantum = quantum_opt_ > 0 ? quantum_opt_ : grant_cost;
+    const std::int64_t grant_cost =
+        view.grant_cycles > 0 ? to_fixed16(view.grant_cycles) : kFix16One;
+    const std::int64_t quantum =
+        quantum_opt_ > 0 ? to_fixed16(quantum_opt_) : grant_cost;
 
     // Enroll lanes that just became backlogged, in lane order.
     for (int lane = 0; lane < view.lanes; ++lane) {
@@ -106,8 +181,7 @@ class FqCodelPolicy final : public SchedulerPolicy {
     // A lane needs at most grant_cost/quantum top-ups before its deficit
     // goes positive, so this many sweeps provably either fills all K
     // engines or proves nothing more is grantable.
-    const int max_sweeps =
-        static_cast<int>(grant_cost / quantum) + 2;
+    const int max_sweeps = static_cast<int>(grant_cost / quantum) + 2;
     for (int sweep = 0; sweep < max_sweeps && next_engine < view.engines;
          ++sweep) {
       bool progressed = false;
@@ -141,7 +215,7 @@ class FqCodelPolicy final : public SchedulerPolicy {
           old_.push_back(lane);
           continue;
         }
-        if (deficit_[i] <= 0.0) {
+        if (deficit_[i] <= 0) {
           deficit_[i] += quantum;
           membership_[i] = List::kOld;
           old_.push_back(lane);
@@ -164,7 +238,7 @@ class FqCodelPolicy final : public SchedulerPolicy {
 
   const double quantum_opt_;          ///< <= 0: one grant's worth per turn
   std::vector<List> membership_;      ///< which list each lane sits in
-  std::vector<double> deficit_;       ///< DRR credit, in engine cycles
+  std::vector<std::int64_t> deficit_; ///< DRR credit, Q48.16 engine cycles
   std::deque<int> new_;               ///< freshly-backlogged lanes
   std::deque<int> old_;               ///< rotation of established lanes
   std::vector<std::uint8_t> granted_; ///< per-round scratch

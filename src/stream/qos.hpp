@@ -48,6 +48,33 @@
 
 namespace qec {
 
+/// Q0.32 fixed-point reciprocal square root — the integer-only CoDel
+/// interval math (DESIGN.md section 11). `rec_inv_sqrt` represents
+/// 1/sqrt(count) as round(2^32 / sqrt(count)), saturated at 2^32 - 1 for
+/// count <= 1. An SFQ admission controller has no FPU; the control law
+/// must close in adders and shifters, so the interval shrink runs on
+/// these helpers in hardware-representable arithmetic. This is the single
+/// shared Newton step (the Linux codel.h lineage) — widened from the
+/// kernel's u16 to full 32-bit precision so the shrink rounds identically
+/// to llround(interval / sqrt(k)) for every interval below 2^31.
+
+/// One Newton-Raphson iteration for 1/sqrt(k) in Q0.32:
+///   v' = v/2 * (3 - k * v^2)
+/// Converges monotonically upward from any underestimate of the root.
+std::uint32_t codel_newton_step(std::uint32_t rec_inv_sqrt,
+                                std::uint32_t count);
+
+/// Fully converged Q0.32 reciprocal square root of `count` (iterates
+/// codel_newton_step from a power-of-two underestimate to its fixed
+/// point). count <= 1 returns the saturated representation of 1.0.
+std::uint32_t codel_rec_inv_sqrt(std::uint32_t count);
+
+/// interval * rec_inv_sqrt in Q0.32 with round-half-up — the shrunk CoDel
+/// deadline. Matches llround(interval / sqrt(k)) for positive arguments;
+/// never below one round. `interval` must be in [0, 2^31).
+std::int64_t codel_shrunk_interval(std::int64_t interval,
+                                   std::uint32_t rec_inv_sqrt);
+
 /// Per-lane sojourn clock: exact end-to-end round latency of every decoded
 /// difference layer. Push events timestamp layers at enqueue; pop events
 /// (reported by OnlineStepper::spend) close the samples.
@@ -144,6 +171,12 @@ class CodelControl {
   int count_ = 0;                  ///< consecutive pauses (sqrt divisor)
   std::int64_t armed_at_ = -1;     ///< first consecutive above-target round
   std::int64_t last_resume_ = kNever;
+  /// Memo of the last converged rec_inv_sqrt — consecutive observations
+  /// reuse the same k, so the Newton loop runs once per count change
+  /// (mirroring the kernel's incremental-update trick without its u16
+  /// precision loss).
+  mutable std::uint32_t memo_count_ = 0;
+  mutable std::uint32_t memo_rec_ = 0;
 };
 
 /// Constructs the `fq` scheduler policy (deficit-round-robin over new/old

@@ -393,6 +393,8 @@ class PoolScheduler {
         const bool backlog = lane.stepper.engine().stored_layers() > 0;
         bool pushed = false;
         if (lane.cursor < trace_rounds) {
+          // trace.layer() hands out PackedBits: this push is a word copy
+          // into the engine Reg, never a byte-per-bit repack.
           pushed = lane.stepper.push(trace.layer(i, lane.cursor));
           if (pushed) {
             ++lane.cursor;

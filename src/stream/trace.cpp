@@ -67,7 +67,7 @@ std::uint64_t fnv1a64(const std::uint8_t* bytes, std::size_t size) {
 
 SyndromeTrace::SyndromeTrace(const TraceHeader& header) : header_(header) {
   layers_.assign(static_cast<std::size_t>(header.rounds) * header.lanes,
-                 BitVec(header.checks, 0));
+                 PackedBits(header.checks));
   final_error_.assign(header.lanes, BitVec(header.data_qubits, 0));
 }
 
@@ -76,13 +76,18 @@ std::size_t SyndromeTrace::layer_index(int lane, int round) const {
          static_cast<std::size_t>(lane);
 }
 
-const BitVec& SyndromeTrace::layer(int lane, int round) const {
+const PackedBits& SyndromeTrace::layer(int lane, int round) const {
   return layers_.at(layer_index(lane, round));
 }
 
-void SyndromeTrace::set_layer(int lane, int round, BitVec layer) {
+void SyndromeTrace::set_layer(int lane, int round, PackedBits layer) {
   if (layer.size() != header_.checks) bad_trace("layer size mismatch");
   layers_.at(layer_index(lane, round)) = std::move(layer);
+}
+
+void SyndromeTrace::set_layer(int lane, int round, const BitVec& layer) {
+  if (layer.size() != header_.checks) bad_trace("layer size mismatch");
+  layers_.at(layer_index(lane, round)).assign_bits(layer);
 }
 
 const BitVec& SyndromeTrace::final_error(int lane) const {
@@ -107,9 +112,13 @@ void SyndromeTrace::set_lane(int lane, const SyndromeHistory& history) {
 }
 
 SyndromeHistory SyndromeTrace::history(int lane) const {
+  // Cold path: the replay-scoring bridge unpacks to the byte-per-bit
+  // SyndromeHistory shape the offline decoders and scorers consume.
   SyndromeHistory h;
   h.difference.reserve(header_.rounds);
-  for (int t = 0; t < rounds(); ++t) h.difference.push_back(layer(lane, t));
+  for (int t = 0; t < rounds(); ++t) {
+    h.difference.push_back(layer(lane, t).to_bits());
+  }
   h.measured = accumulate_differences(h.difference);
   h.final_error = final_error(lane);
   return h;
@@ -131,10 +140,9 @@ void SyndromeTrace::save(const std::string& path) const {
   std::vector<std::uint8_t> payload;
   payload.reserve(layers_.size() * packed_size(header_.checks) +
                   final_error_.size() * packed_size(header_.data_qubits));
-  for (const auto& layer : layers_) {
-    const auto packed = pack_bits(layer);
-    payload.insert(payload.end(), packed.begin(), packed.end());
-  }
+  // Layers are already packed in the payload's exact layout (LSB-first,
+  // 64-bit words little-endian == LSB-first bytes): emit them directly.
+  for (const auto& layer : layers_) layer.append_bytes(payload);
   for (const auto& error : final_error_) {
     const auto packed = pack_bits(error);
     payload.insert(payload.end(), packed.begin(), packed.end());
@@ -224,7 +232,8 @@ SyndromeTrace SyndromeTrace::load(const std::string& path) {
   SyndromeTrace trace(header);
   const std::uint8_t* cursor = payload;
   for (std::size_t i = 0; i < num_layers; ++i) {
-    trace.layers_[i] = unpack_bits(cursor, header.checks);
+    // Words assemble straight from the payload bytes — no per-bit loop.
+    trace.layers_[i] = PackedBits::from_bytes(cursor, header.checks);
     cursor += layer_bytes;
   }
   for (std::uint32_t lane = 0; lane < header.lanes; ++lane) {

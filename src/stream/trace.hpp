@@ -19,6 +19,14 @@
 // planar lattice of `distance`), payload length, and checksum, and throws
 // TraceError on any mismatch — a corrupt or truncated file never produces
 // undefined behaviour, it produces an exception.
+//
+// The packed payload layout is also the in-memory layout: difference
+// layers are held as PackedBits (64 checks per word, LSB-first — see
+// surface_code/packed_bits.hpp), so save() emits each layer's words
+// little-endian truncated to ceil(checks/8) bytes and load() assembles
+// words straight from the payload bytes. The streamed hot path (layer()
+// -> OnlineStepper::push -> engine Reg) never unpacks byte-per-bit; only
+// history() — the cold replay-scoring bridge — converts back to BitVec.
 #pragma once
 
 #include <cstdint>
@@ -65,8 +73,10 @@ class SyndromeTrace {
   int rounds() const { return static_cast<int>(header_.rounds); }
 
   /// Difference layer streamed to `lane` in round `round` (sized checks).
-  const BitVec& layer(int lane, int round) const;
-  void set_layer(int lane, int round, BitVec layer);
+  /// Packed — OnlineStepper::push() consumes it without unpacking.
+  const PackedBits& layer(int lane, int round) const;
+  void set_layer(int lane, int round, PackedBits layer);
+  void set_layer(int lane, int round, const BitVec& layer);
 
   /// Ground-truth accumulated data error of `lane` (sized data_qubits).
   const BitVec& final_error(int lane) const;
@@ -94,7 +104,7 @@ class SyndromeTrace {
   std::size_t layer_index(int lane, int round) const;
 
   TraceHeader header_;
-  std::vector<BitVec> layers_;       ///< [round][lane], round-major
+  std::vector<PackedBits> layers_;   ///< [round][lane], round-major
   std::vector<BitVec> final_error_;  ///< [lane]
 };
 

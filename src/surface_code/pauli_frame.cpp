@@ -32,4 +32,11 @@ bool is_zero(std::span<const std::uint8_t> bits) {
   return true;
 }
 
+PackedBits xor_of(const PackedBits& a, const PackedBits& b) {
+  assert(a.size() == b.size());
+  PackedBits out = a;
+  out ^= b;
+  return out;
+}
+
 }  // namespace qec

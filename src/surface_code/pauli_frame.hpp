@@ -1,10 +1,21 @@
 // Small helpers for manipulating binary error / correction vectors
 // ("Pauli frames" restricted to one error sector).
+//
+// Two representations coexist:
+//  - BitVec (byte per bit): the legacy, random-access-friendly form the
+//    offline decoders (MWPM, union-find, AQEC) index per check.
+//  - PackedBits (64 bits per word, surface_code/packed_bits.hpp): the
+//    streamed hot-path form — the QECOOL engine's Reg layers, the lane
+//    steppers' difference layers, and the engine's accumulated correction
+//    all live packed, so per-round XOR/occupancy/weight work is
+//    word-parallel. The overloads below keep both forms first-class.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "surface_code/packed_bits.hpp"
 
 namespace qec {
 
@@ -22,5 +33,19 @@ BitVec xor_of(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
 
 /// True if every entry is zero.
 bool is_zero(std::span<const std::uint8_t> bits);
+
+// Packed (word-parallel) counterparts.
+
+/// Number of set bits — one popcount per 64 ancillas.
+inline int weight(const PackedBits& bits) { return bits.popcount(); }
+
+/// out ^= in (sizes must match), word-parallel.
+inline void xor_into(const PackedBits& in, PackedBits& out) { out ^= in; }
+
+/// a XOR b as a new packed vector (sizes must match).
+PackedBits xor_of(const PackedBits& a, const PackedBits& b);
+
+/// True if every bit is zero — one compare per 64 ancillas.
+inline bool is_zero(const PackedBits& bits) { return bits.none(); }
 
 }  // namespace qec

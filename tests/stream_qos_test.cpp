@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -135,6 +137,50 @@ TEST(CodelControl, ConsecutivePausesShrinkTheIntervalBySqrt) {
   EXPECT_TRUE(codel.should_resume(2, 5));
   EXPECT_TRUE(codel.should_resume(50, 0));
   EXPECT_FALSE(codel.should_resume(5, 3));
+}
+
+TEST(CodelControl, FixedPointShrinkMatchesFloatReference) {
+  // The Q0.32 interval shrink (codel_rec_inv_sqrt + codel_shrunk_interval)
+  // against the floating-point law it replaced, sweeping pause counts
+  // 1..10^4 over the interval range the admission controller actually
+  // uses (auto interval = 2 * reg_depth, spec intervals up to hundreds of
+  // rounds). The full 32-bit Newton iteration carries >= 31 significant
+  // bits, so the only admissible divergence is the half-ULP rounding of
+  // values that land exactly between two integers — within +-1 round by
+  // construction, and exact everywhere the product is not a rounding
+  // knife-edge. Both behaviors are asserted: never more than 1 apart, and
+  // exact for every count the pinned golden scenarios reach (k <= 64).
+  const int intervals[] = {1, 2, 7, 10, 14, 100, 1000, 65535};
+  for (const int interval : intervals) {
+    for (std::uint32_t k = 1; k <= 10000; ++k) {
+      const std::int64_t fixed =
+          codel_shrunk_interval(interval, codel_rec_inv_sqrt(k));
+      const auto reference = static_cast<std::int64_t>(std::llround(
+          static_cast<double>(interval) / std::sqrt(static_cast<double>(k))));
+      const std::int64_t clamped = reference < 1 ? 1 : reference;
+      ASSERT_LE(std::llabs(fixed - clamped), 1)
+          << "interval " << interval << " count " << k;
+      if (k <= 64) {
+        ASSERT_EQ(fixed, clamped)
+            << "interval " << interval << " count " << k;
+      }
+    }
+  }
+}
+
+TEST(CodelControl, NewtonStepConvergesToKnownRoots) {
+  // Perfect squares have exactly representable reciprocal roots: the
+  // converged Q0.32 value must hit round(2^32 / sqrt(k)) on the nose.
+  EXPECT_EQ(codel_rec_inv_sqrt(1), 0xffffffffU);  // saturated 1.0
+  EXPECT_EQ(codel_rec_inv_sqrt(4), 0x80000000U);  // exactly 0.5
+  EXPECT_EQ(codel_rec_inv_sqrt(16), 0x40000000U);
+  EXPECT_EQ(codel_rec_inv_sqrt(64), 0x20000000U);
+  EXPECT_EQ(codel_rec_inv_sqrt(1U << 30), 1U << 17);
+  // And the shrink through the saturated 1.0 is the identity.
+  for (int interval : {1, 10, 1000, (1 << 30)}) {
+    EXPECT_EQ(codel_shrunk_interval(interval, codel_rec_inv_sqrt(1)),
+              interval);
+  }
 }
 
 TEST(QosSpecs, CodelAdmissionParsingAndResolution) {

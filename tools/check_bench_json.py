@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validator for bench --json run records (stdlib only).
+
+The bench binaries (lane_scaling, pool_scaling) emit machine-readable run
+records via --json=FILE, and the repo pins perf trajectories as such
+records (BENCH_lane_scaling.json). This checker fails the build when a
+record is not valid JSON or is missing the keys those consumers rely on,
+so the format cannot rot silently between the emitters and the pinned
+files.
+
+Usage: tools/check_bench_json.py record.json [record2.json ...]
+
+A pinned trajectory file (an object with "before"/"after" run records plus
+a "speedup" summary) is accepted as well: each embedded record is checked
+with the same rules.
+"""
+import json
+import sys
+
+# Every run record must carry these top-level keys, and every cell these
+# per-cell keys. Extra keys are always fine — the format may grow.
+RECORD_KEYS = ("bench", "git_rev", "config", "cells")
+CELL_KEYS = (
+    "lanes",
+    "mhz",
+    "engines",
+    "replay_ms",
+    "streamed_lane_rounds",
+    "us_per_lane_round",
+    "lane_rounds_per_sec",
+    "failed_lanes",
+)
+
+
+def check_record(record, label):
+    errors = []
+    for key in RECORD_KEYS:
+        if key not in record:
+            errors.append(f"{label}: missing key '{key}'")
+    if not isinstance(record.get("config"), dict):
+        errors.append(f"{label}: 'config' is not an object")
+    cells = record.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append(f"{label}: 'cells' is not a non-empty array")
+        return errors
+    for i, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            errors.append(f"{label}: cells[{i}] is not an object")
+            continue
+        for key in CELL_KEYS:
+            if key not in cell:
+                errors.append(f"{label}: cells[{i}] missing key '{key}'")
+        for key in ("replay_ms", "lane_rounds_per_sec"):
+            value = cell.get(key)
+            if value is not None and not isinstance(value, (int, float)):
+                errors.append(f"{label}: cells[{i}].{key} is not a number")
+    return errors
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"{path}: {err}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    if "cells" in doc:
+        return check_record(doc, path)
+    # Pinned trajectory: embedded run records plus a speedup summary.
+    errors = []
+    records = [k for k in doc if isinstance(doc[k], dict) and "cells" in doc[k]]
+    if not records:
+        return [f"{path}: neither a run record nor a pinned trajectory "
+                f"(no embedded object with 'cells')"]
+    for key in records:
+        errors.extend(check_record(doc[key], f"{path}:{key}"))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py record.json [...]", file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(f"check_bench_json: {error}", file=sys.stderr)
+    if not errors:
+        print(f"check_bench_json: {len(argv) - 1} file(s) OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
