@@ -13,6 +13,7 @@
 // outcomes are unaffected by --threads or --dispatch; only wall-clock is.
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "decoder/registry.hpp"
+#include "obs/chrome_trace.hpp"
 #include "qecool/online_runner.hpp"
 #include "stream/scheduler.hpp"
 #include "stream/service.hpp"
@@ -55,7 +57,13 @@ constexpr const char* kOptions =
     "  --json=FILE           write a machine-readable run record to FILE\n"
     "                        (config, git revision, wall-clock and\n"
     "                        lane-rounds/s per cell — the format pinned in\n"
-    "                        BENCH_lane_scaling.json)\n";
+    "                        BENCH_lane_scaling.json)\n"
+    "  --trace-json=FILE     Chrome-trace-event timeline of the LAST cell\n"
+    "                        (tracing is on for every cell; per-cell event\n"
+    "                        counts land in the --json obs block)\n"
+    "  --trace-ring=16384    per-track event ring capacity\n"
+    "  --metrics-csv=FILE    windowed metrics time series of the LAST cell\n"
+    "  --metrics-window=64   rounds per metrics window\n";
 
 }  // namespace
 
@@ -73,6 +81,14 @@ int main(int argc, char** argv) {
   base.max_drain_rounds = static_cast<int>(args.get_int_or("drain", 1000));
   base.rounds_per_dispatch = static_cast<int>(args.get_int_or("dispatch", 1));
   base.threads = qec::threads_override(args, 1);
+  const std::string trace_json = args.get_or("trace-json", "");
+  const std::string metrics_csv = args.get_or("metrics-csv", "");
+  base.obs.trace = !trace_json.empty();
+  base.obs.trace_ring =
+      static_cast<int>(args.get_int_or("trace-ring", base.obs.trace_ring));
+  base.obs.metrics = !metrics_csv.empty();
+  base.obs.metrics_window = static_cast<int>(
+      args.get_int_or("metrics-window", base.obs.metrics_window));
 
   qec::bench::print_header(
       "Lane scaling: wall-clock per streamed round vs fleet size",
@@ -94,6 +110,8 @@ int main(int argc, char** argv) {
     const std::string csv_path = args.get_or("csv", "");
     const std::string json_path = args.get_or("json", "");
     std::vector<std::string> json_cells;
+    std::shared_ptr<qec::obs::Tracer> last_tracer;
+    std::shared_ptr<qec::obs::MetricsRegistry> last_metrics;
     qec::CsvWriter csv(csv_path.empty() ? "/dev/null" : csv_path,
                        {"lanes", "d", "mhz", "engines", "policy", "rounds",
                         "record_ms", "replay_ms", "streamed_lane_rounds",
@@ -154,23 +172,38 @@ int main(int argc, char** argv) {
                        std::to_string(outcome.failed_lanes) + "/" +
                            std::to_string(outcome.lanes)});
         if (!json_path.empty()) {
-          json_cells.push_back(
-              qec::bench::JsonObject()
-                  .add("lanes", outcome.lanes)
-                  .add("mhz", mhz)
-                  .add("engines", outcome.telemetry.engines)
-                  .add("rounds", trace.rounds())
-                  .add("record_ms", record_ms)
-                  .add("replay_ms", replay_ms)
-                  .add("streamed_lane_rounds",
-                       static_cast<std::int64_t>(lane_rounds))
-                  .add("us_per_lane_round", us_per_round)
-                  .add("lane_rounds_per_sec", rounds_per_sec)
-                  .add("overflow_lanes", outcome.overflow_lanes)
-                  .add("failed_lanes", outcome.failed_lanes)
-                  .add("failed_frac", failed_frac)
-                  .str());
+          qec::bench::JsonObject cell;
+          cell.add("lanes", outcome.lanes)
+              .add("mhz", mhz)
+              .add("engines", outcome.telemetry.engines)
+              .add("rounds", trace.rounds())
+              .add("record_ms", record_ms)
+              .add("replay_ms", replay_ms)
+              .add("streamed_lane_rounds",
+                   static_cast<std::int64_t>(lane_rounds))
+              .add("us_per_lane_round", us_per_round)
+              .add("lane_rounds_per_sec", rounds_per_sec)
+              .add("overflow_lanes", outcome.overflow_lanes)
+              .add("failed_lanes", outcome.failed_lanes)
+              .add("failed_frac", failed_frac);
+          if (outcome.tracer) {
+            const auto emitted = outcome.tracer->emitted();
+            cell.add_raw(
+                "obs",
+                qec::bench::JsonObject()
+                    .add("events", static_cast<std::int64_t>(emitted))
+                    .add("dropped", static_cast<std::int64_t>(
+                                        outcome.tracer->dropped()))
+                    .add("events_per_lane_round",
+                         lane_rounds ? static_cast<double>(emitted) /
+                                           static_cast<double>(lane_rounds)
+                                     : 0.0)
+                    .str());
+          }
+          json_cells.push_back(cell.str());
         }
+        last_tracer = outcome.tracer;
+        last_metrics = outcome.metrics;
       }
     }
     table.print();
@@ -179,6 +212,22 @@ int main(int argc, char** argv) {
                 base.threads, base.rounds_per_dispatch);
     if (!csv_path.empty()) {
       std::printf("scaling curve written to %s\n", csv_path.c_str());
+    }
+    if (!trace_json.empty() && last_tracer) {
+      if (!qec::obs::write_chrome_trace(*last_tracer, trace_json)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+        return 1;
+      }
+      std::printf("event trace (last cell) written to %s\n",
+                  trace_json.c_str());
+    }
+    if (!metrics_csv.empty() && last_metrics) {
+      if (!last_metrics->write_csv(metrics_csv)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_csv.c_str());
+        return 1;
+      }
+      std::printf("windowed metrics (last cell) written to %s\n",
+                  metrics_csv.c_str());
     }
     if (!json_path.empty()) {
       const std::string config_json =

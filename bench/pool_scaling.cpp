@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -34,6 +35,7 @@
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "obs/chrome_trace.hpp"
 #include "qecool/online_runner.hpp"
 #include "stream/admission.hpp"
 #include "stream/scheduler.hpp"
@@ -94,7 +96,13 @@ constexpr const char* kOptions =
     "  --latency-csv=FILE    per-lane sojourn latency rows for every cell\n"
     "  --json=FILE           write a machine-readable run record to FILE\n"
     "                        (config, git revision, per-cell wall-clock and\n"
-    "                        lane-rounds/s — same shape as lane_scaling's)\n";
+    "                        lane-rounds/s — same shape as lane_scaling's)\n"
+    "  --trace-json=FILE     Chrome-trace-event timeline of the LAST cell\n"
+    "                        (tracing is on for every cell; per-cell event\n"
+    "                        counts land in the --json obs block)\n"
+    "  --trace-ring=16384    per-track event ring capacity\n"
+    "  --metrics-csv=FILE    windowed metrics time series of the LAST cell\n"
+    "  --metrics-window=64   rounds per metrics window\n";
 
 }  // namespace
 
@@ -112,6 +120,14 @@ int main(int argc, char** argv) {
   base.rounds_per_dispatch = static_cast<int>(args.get_int_or("dispatch", 1));
   base.budget_w = args.get_double_or("budget-w", 0.0);
   base.threads = qec::threads_override(args, 1);
+  const std::string trace_json = args.get_or("trace-json", "");
+  const std::string metrics_csv = args.get_or("metrics-csv", "");
+  base.obs.trace = !trace_json.empty();
+  base.obs.trace_ring =
+      static_cast<int>(args.get_int_or("trace-ring", base.obs.trace_ring));
+  base.obs.metrics = !metrics_csv.empty();
+  base.obs.metrics_window = static_cast<int>(
+      args.get_int_or("metrics-window", base.obs.metrics_window));
 
   qec::bench::print_header(
       "Pool scaling: K shared decoder engines serving N lanes",
@@ -177,6 +193,8 @@ int main(int argc, char** argv) {
 
     const std::string json_path = args.get_or("json", "");
     std::vector<std::string> json_cells;
+    std::shared_ptr<qec::obs::Tracer> last_tracer;
+    std::shared_ptr<qec::obs::MetricsRegistry> last_metrics;
 
     const std::string latency_path = args.get_or("latency-csv", "");
     qec::CsvWriter latency_csv(
@@ -293,29 +311,43 @@ int main(int argc, char** argv) {
               const std::int64_t lane_rounds =
                   static_cast<std::int64_t>(all.rounds_streamed) +
                   all.drain_rounds;
-              json_cells.push_back(
-                  qec::bench::JsonObject()
-                      .add("policy", policy)
-                      .add("admission", admission)
-                      .add("lanes", outcome.lanes)
-                      .add("engines", ran_engines)
-                      .add("mhz", mhz)
-                      .add("replay_ms", replay_ms)
-                      .add("streamed_lane_rounds", lane_rounds)
-                      .add("us_per_lane_round",
-                           lane_rounds ? replay_ms * 1e3 /
-                                             static_cast<double>(lane_rounds)
-                                       : 0.0)
-                      .add("lane_rounds_per_sec",
-                           replay_ms > 0
-                               ? static_cast<double>(lane_rounds) /
-                                     (replay_ms * 1e-3)
-                               : 0.0)
-                      .add("failed_lanes", outcome.failed_lanes)
-                      .add("failed_frac", failed_frac)
-                      .add("watts", watts)
-                      .str());
+              qec::bench::JsonObject cell;
+              cell.add("policy", policy)
+                  .add("admission", admission)
+                  .add("lanes", outcome.lanes)
+                  .add("engines", ran_engines)
+                  .add("mhz", mhz)
+                  .add("replay_ms", replay_ms)
+                  .add("streamed_lane_rounds", lane_rounds)
+                  .add("us_per_lane_round",
+                       lane_rounds ? replay_ms * 1e3 /
+                                         static_cast<double>(lane_rounds)
+                                   : 0.0)
+                  .add("lane_rounds_per_sec",
+                       replay_ms > 0 ? static_cast<double>(lane_rounds) /
+                                           (replay_ms * 1e-3)
+                                     : 0.0)
+                  .add("failed_lanes", outcome.failed_lanes)
+                  .add("failed_frac", failed_frac)
+                  .add("watts", watts);
+              if (outcome.tracer) {
+                const auto emitted = outcome.tracer->emitted();
+                cell.add_raw(
+                    "obs",
+                    qec::bench::JsonObject()
+                        .add("events", static_cast<std::int64_t>(emitted))
+                        .add("dropped", static_cast<std::int64_t>(
+                                            outcome.tracer->dropped()))
+                        .add("events_per_lane_round",
+                             lane_rounds ? static_cast<double>(emitted) /
+                                               static_cast<double>(lane_rounds)
+                                         : 0.0)
+                        .str());
+              }
+              json_cells.push_back(cell.str());
             }
+            last_tracer = outcome.tracer;
+            last_metrics = outcome.metrics;
             table.add_row({policy, admission, fmt(k_over_n),
                            fmt(mhz, "%.6g"), fmt(watts, "%.3g"),
                            std::to_string(outcome.failed_lanes) + "/" +
@@ -345,6 +377,22 @@ int main(int argc, char** argv) {
     if (!latency_path.empty()) {
       std::printf("per-lane sojourn latency written to %s\n",
                   latency_path.c_str());
+    }
+    if (!trace_json.empty() && last_tracer) {
+      if (!qec::obs::write_chrome_trace(*last_tracer, trace_json)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+        return 1;
+      }
+      std::printf("event trace (last cell) written to %s\n",
+                  trace_json.c_str());
+    }
+    if (!metrics_csv.empty() && last_metrics) {
+      if (!last_metrics->write_csv(metrics_csv)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_csv.c_str());
+        return 1;
+      }
+      std::printf("windowed metrics (last cell) written to %s\n",
+                  metrics_csv.c_str());
     }
     if (!json_path.empty()) {
       std::vector<std::string> policy_items, admission_items, pool_items;

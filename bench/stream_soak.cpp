@@ -25,6 +25,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "decoder/registry.hpp"
+#include "obs/chrome_trace.hpp"
 #include "qecool/online_runner.hpp"
 #include "stream/admission.hpp"
 #include "stream/scheduler.hpp"
@@ -61,7 +62,13 @@ constexpr const char* kOptions =
     "  --timeline-csv=FILE   per-round aggregate depth timeline CSV\n"
     "  --latency-csv=FILE    per-lane end-to-end sojourn latency CSV\n"
     "  --trace-out=FILE      save the recorded syndrome trace ('QTRC')\n"
-    "  --trace-in=FILE       replay a previously recorded trace\n";
+    "  --trace-in=FILE       replay a previously recorded trace\n"
+    "  --trace-json=FILE     event timeline as Chrome trace JSON (open in\n"
+    "                        Perfetto / chrome://tracing; ts = logical round)\n"
+    "  --trace-ring=16384    per-track event ring capacity (flight recorder:\n"
+    "                        oldest events drop once full)\n"
+    "  --metrics-csv=FILE    windowed metrics time-series CSV\n"
+    "  --metrics-window=64   rounds per metrics window\n";
 
 }  // namespace
 
@@ -84,6 +91,14 @@ int main(int argc, char** argv) {
   config.budget_w = args.get_double_or("budget-w", 0.0);
   config.rounds_per_dispatch = static_cast<int>(args.get_int_or("dispatch", 1));
   config.threads = qec::threads_override(args, 1);
+  const std::string trace_json = args.get_or("trace-json", "");
+  const std::string metrics_csv = args.get_or("metrics-csv", "");
+  config.obs.trace = !trace_json.empty();
+  config.obs.trace_ring =
+      static_cast<int>(args.get_int_or("trace-ring", config.obs.trace_ring));
+  config.obs.metrics = !metrics_csv.empty();
+  config.obs.metrics_window = static_cast<int>(
+      args.get_int_or("metrics-window", config.obs.metrics_window));
 
   qec::bench::print_header(
       "Stream soak: N concurrent on-line lanes vs a shared decoder pool",
@@ -162,6 +177,16 @@ int main(int argc, char** argv) {
     table.add_row({"service fairness (Jain)",
                    qec::TextTable::fmt(outcome.telemetry.fairness_index(), 4)});
     table.add_row({"total working cycles", std::to_string(all.total_cycles)});
+    if (outcome.tracer) {
+      table.add_row({"obs events (emitted / dropped)",
+                     std::to_string(outcome.tracer->emitted()) + " / " +
+                         std::to_string(outcome.tracer->dropped())});
+    }
+    if (outcome.metrics) {
+      table.add_row({"obs metrics windows (W rounds)",
+                     std::to_string(outcome.metrics->windows()) + " (" +
+                         std::to_string(outcome.metrics->window()) + ")"});
+    }
     table.print();
     std::printf("\nwall-clock %.1f ms (--threads=%d, --dispatch=%d)\n", ms,
                 config.threads, config.rounds_per_dispatch);
@@ -198,6 +223,21 @@ int main(int argc, char** argv) {
       }
       std::printf("sojourn latency report written to %s\n",
                   latency_csv.c_str());
+    }
+    if (!trace_json.empty()) {
+      if (!qec::obs::write_chrome_trace(*outcome.tracer, trace_json)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+        return 1;
+      }
+      std::printf("event trace written to %s (open in Perfetto)\n",
+                  trace_json.c_str());
+    }
+    if (!metrics_csv.empty()) {
+      if (!outcome.metrics->write_csv(metrics_csv)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_csv.c_str());
+        return 1;
+      }
+      std::printf("windowed metrics written to %s\n", metrics_csv.c_str());
     }
     return outcome.overflow_lanes == outcome.lanes ? 2 : 0;
   } catch (const std::exception& e) {

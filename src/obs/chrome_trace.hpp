@@ -1,0 +1,27 @@
+// Chrome-trace-event JSON export of an obs::Tracer: open the file in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing and the run
+// renders as a lanes x engines timeline — pause spans, serve slices,
+// push/pop/starve instants — with logical rounds on the time axis (one
+// round = one "microsecond"). See docs/observability.md for the mapping
+// and a walkthrough; tools/check_trace_json.py validates the output.
+//
+// The export is deterministic: events come from Tracer::merged() (already
+// canonically ordered), every line is formatted with locale-independent
+// integer formatting, and timestamps are logical rounds — so the file is
+// byte-identical for any --threads value.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace qec::obs {
+
+/// Writes `tracer`'s merged events to `path` as Chrome trace JSON.
+/// Unmatched pause-begin events are closed with a synthetic end at the
+/// track's final timestamp so viewers never see a dangling span. Returns
+/// false when the file cannot be opened or written (mirroring the
+/// telemetry CSV writers).
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace qec::obs

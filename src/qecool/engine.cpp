@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace qec {
 namespace {
 // Race-logic port priority (Section IV-B, Prioritization module): the
@@ -247,6 +249,9 @@ void QecoolEngine::pop_layer() {
   --m_;
   layer_cycles_.push_back(cycles_ - last_pop_cycles_);
   last_pop_cycles_ = cycles_;
+  if (obs_track_) {
+    obs_track_->emit(obs::EventKind::kPop, layer_cycles_.back());
+  }
 }
 
 std::uint64_t QecoolEngine::run(std::uint64_t budget) {

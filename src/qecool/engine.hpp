@@ -48,6 +48,10 @@
 
 namespace qec {
 
+namespace obs {
+class Track;  // obs/trace.hpp — the engine never includes the obs layer
+}
+
 /// One matching event, recorded when QecoolConfig::record_trace is set.
 struct MatchEvent {
   enum class Kind : std::uint8_t { Pair, Self, Boundary } kind = Kind::Pair;
@@ -115,6 +119,12 @@ class QecoolEngine {
   /// Match-event trace; empty unless QecoolConfig::record_trace is set.
   const std::vector<MatchEvent>& trace() const { return trace_; }
 
+  /// Observability hook (src/obs): when set, every popped layer emits a
+  /// kPop event (payload = the layer's attributed cycles) onto `track`.
+  /// The track's current round is maintained by the caller; disabled
+  /// tracing costs the pop path one branch.
+  void set_obs_track(obs::Track* track) { obs_track_ = track; }
+
  private:
   struct Candidate {
     // Sort key: arrival doubled so the boundary half-cycle penalty stays
@@ -166,6 +176,7 @@ class QecoolEngine {
   int b_ = 0;    // current base depth
   int row_ = 0;  // next row to scan in the current pass
 
+  obs::Track* obs_track_ = nullptr;  ///< kPop sink; null = tracing off
   std::uint64_t cycles_ = 0;
   std::uint64_t last_pop_cycles_ = 0;
   std::vector<std::uint64_t> layer_cycles_;

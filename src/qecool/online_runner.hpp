@@ -134,6 +134,10 @@ class OnlineStepper {
 
   bool overflowed() const { return overflow_; }
 
+  /// Observability hook (src/obs): forwards the lane's event track to the
+  /// engine so popped layers emit kPop events. Null disables tracing.
+  void set_obs_track(obs::Track* track) { engine_.set_obs_track(track); }
+
   /// True when the engine consumed everything: every Reg bit clear and no
   /// stored layers left to pop.
   bool drained() const {

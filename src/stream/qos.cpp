@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace qec {
 
 std::uint32_t codel_newton_step(std::uint32_t rec_inv_sqrt,
@@ -101,6 +103,10 @@ bool CodelControl::should_pause(std::int64_t now, std::int64_t sojourn,
   if (sojourn < target_ || depth < 2) {
     // Healthy (or not a standing queue): disarm. The consecutive-pause
     // count survives until a full healthy interval elapses, below.
+    if (armed_at_ >= 0 && obs_track_) {
+      obs_track_->emit_at(now, obs::EventKind::kCodelDisarm,
+                          static_cast<std::uint64_t>(sojourn));
+    }
     armed_at_ = -1;
     return false;
   }
@@ -109,6 +115,10 @@ bool CodelControl::should_pause(std::int64_t now, std::int64_t sojourn,
     // Re-entering the above-target state long after the last resume is a
     // fresh congestion event, not a continuation: reset the sqrt divisor.
     if (last_resume_ == kNever || now - last_resume_ > interval_) count_ = 0;
+    if (obs_track_) {
+      obs_track_->emit_at(now, obs::EventKind::kCodelArm,
+                          static_cast<std::uint64_t>(sojourn));
+    }
   }
   if (now - armed_at_ + 1 >= shrunk_interval(count_ + 1)) {
     ++count_;

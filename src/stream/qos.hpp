@@ -48,6 +48,10 @@
 
 namespace qec {
 
+namespace obs {
+class Track;  // obs/trace.hpp — CoDel arm/disarm transitions emit here
+}
+
 /// Q0.32 fixed-point reciprocal square root — the integer-only CoDel
 /// interval math (DESIGN.md section 11). `rec_inv_sqrt` represents
 /// 1/sqrt(count) as round(2^32 / sqrt(count)), saturated at 2^32 - 1 for
@@ -162,6 +166,12 @@ class CodelControl {
   /// Deadline the (count+1)-th consecutive pause would use, in rounds.
   std::int64_t next_deadline_rounds() const { return shrunk_interval(count_ + 1); }
 
+  /// Observability hook (src/obs): when set, arming and disarming the
+  /// CoDel deadline emit kCodelArm/kCodelDisarm events (payload = the
+  /// head sojourn that flipped the state) onto the lane's track. The
+  /// pause decision itself is traced by the admission controller.
+  void set_obs_track(obs::Track* track) { obs_track_ = track; }
+
  private:
   std::int64_t shrunk_interval(int k) const;
 
@@ -171,6 +181,7 @@ class CodelControl {
   int count_ = 0;                  ///< consecutive pauses (sqrt divisor)
   std::int64_t armed_at_ = -1;     ///< first consecutive above-target round
   std::int64_t last_resume_ = kNever;
+  obs::Track* obs_track_ = nullptr;  ///< arm/disarm sink; null = off
   /// Memo of the last converged rec_inv_sqrt — consecutive observations
   /// reuse the same k, so the Newton loop runs once per count change
   /// (mirroring the kernel's incremental-update trick without its u16

@@ -71,6 +71,18 @@ struct Lane {
   /// Next trace layer this lane will consume (admission pause mode: a
   /// paused lane's cursor freezes while the global round marches on).
   int cursor = 0;
+
+  /// Observability (src/obs): the lane's event track, null when tracing
+  /// is off — every hook below guards on it, so a disabled tracer costs
+  /// one branch. Written only inside the lane-parallel region (plus the
+  /// scheduling thread between joins), so the ring stays single-writer.
+  obs::Track* track = nullptr;
+
+  /// Sojourn samples already fed to the metrics histogram. The parallel
+  /// region records the cumulative sample count per (lane, round) slot;
+  /// the reduction consumes the delta in fixed round order, so the
+  /// windowed histogram is invariant under threads and batching.
+  std::size_t obs_consumed = 0;
 };
 
 /// Orchestrates the shared engine pool over one run: per dispatch it asks
@@ -83,12 +95,15 @@ class PoolScheduler {
  public:
   PoolScheduler(std::vector<Lane>& lanes, SchedulerPolicy& policy, int engines,
                 const StreamConfig& config, const AdmissionConfig& admission,
-                StreamTelemetry& telemetry)
+                StreamTelemetry& telemetry, obs::Tracer* tracer,
+                obs::MetricsRegistry* metrics)
       : lanes_(lanes),
         policy_(policy),
         config_(config),
         admission_(admission),
         telemetry_(telemetry),
+        tracer_(tracer),
+        metrics_(metrics),
         engines_(engines),
         batch_(policy.dynamic() ? 1
                                 : std::max(1, config.rounds_per_dispatch)) {
@@ -100,6 +115,23 @@ class PoolScheduler {
     finished_.resize(lanes_.size());
     paused_.resize(lanes_.size());
     assignment_.assign(static_cast<std::size_t>(engines_), -1);
+    if (metrics_) {
+      // Registration order is CSV column order — keep it stable, goldens
+      // pin it.
+      m_pushes_ = metrics_->add_counter("pushes");
+      m_drain_pushes_ = metrics_->add_counter("drain_pushes");
+      m_pops_ = metrics_->add_counter("pops");
+      m_serves_ = metrics_->add_counter("serves");
+      m_starves_ = metrics_->add_counter("starves");
+      m_overflows_ = metrics_->add_counter("overflows");
+      m_pauses_ = metrics_->add_counter("pauses");
+      m_resumes_ = metrics_->add_counter("resumes");
+      m_live_ = metrics_->add_gauge("live_lanes");
+      m_paused_ = metrics_->add_gauge("paused_lanes");
+      m_overflowed_ = metrics_->add_gauge("overflowed_lanes");
+      m_depth_ = metrics_->add_histogram("depth");
+      m_sojourn_ = metrics_->add_histogram("sojourn");
+    }
   }
 
   int batch() const { return batch_; }
@@ -116,6 +148,10 @@ class PoolScheduler {
     cycles_.assign(slots, 0);
     flags_.assign(slots, 0);
     depth_scratch_.assign(slots, 0);
+    if (metrics_) {
+      pops_.assign(slots, 0);
+      samples_after_.assign(slots, 0);
+    }
 
     // Pre-round lane state for the policy. Fresh only when count == 1,
     // which the constructor forces for dynamic policies; static policies
@@ -172,6 +208,7 @@ class PoolScheduler {
         const std::size_t idx = static_cast<std::size_t>(i) * count +
                                 static_cast<std::size_t>(r);
         if (drain ? lane.finished() : lane.stepper.overflowed()) continue;
+        if (lane.track) lane.track->set_round(start + r);
         // Backlog before this round's layer lands: the starvation test.
         const bool backlog = lane.stepper.engine().stored_layers() > 0;
         const bool pushed =
@@ -180,6 +217,12 @@ class PoolScheduler {
         std::uint8_t flags = kActive;
         if (pushed) {
           flags |= kPushed;
+          if (lane.track) {
+            lane.track->emit(
+                obs::EventKind::kPush,
+                static_cast<std::uint64_t>(lane.stepper.engine().stored_layers()),
+                drain ? 0 : 1);
+          }
           lane.qos.on_push(start + r, /*real=*/!drain);
           if (drain) {
             ++lane.telemetry.drain_rounds;
@@ -191,13 +234,29 @@ class PoolScheduler {
             lane.qos.on_pops(lane.stepper.last_spend_pops(), start + r);
             flags |= kServed;
             ++lane.telemetry.served_rounds;
+            if (lane.track) {
+              lane.track->emit(obs::EventKind::kSpend, cycles_[idx]);
+            }
+            if (metrics_) {
+              pops_[idx] = lane.stepper.last_spend_pops();
+            }
           } else if (backlog) {
             flags |= kStarved;
             ++lane.telemetry.starved_rounds;
+            if (lane.track) {
+              lane.track->emit(obs::EventKind::kStarve,
+                               static_cast<std::uint64_t>(
+                                   lane.stepper.engine().stored_layers()));
+            }
           }
+        } else if (lane.track) {
+          lane.track->emit(obs::EventKind::kOverflow,
+                           static_cast<std::uint64_t>(
+                               lane.stepper.engine().stored_layers()));
         }
         lane.record_depth();
         depth_scratch_[idx] = lane.stepper.engine().stored_layers();
+        if (metrics_) samples_after_[idx] = lane.qos.samples().size();
         flags_[idx] = flags;
       }
     });
@@ -218,6 +277,22 @@ class PoolScheduler {
         if (!(flags & kPushed)) ++overflowed_so_far_;
         sample.depth_sum += static_cast<std::uint64_t>(depth_scratch_[idx]);
         sample.depth_max = std::max(sample.depth_max, depth_scratch_[idx]);
+        if (metrics_) {
+          if (flags & kPushed) {
+            metrics_->count(drain ? m_drain_pushes_ : m_pushes_);
+          } else {
+            metrics_->count(m_overflows_);
+          }
+          if (flags & kServed) {
+            metrics_->count(m_serves_);
+            metrics_->count(m_pops_, static_cast<std::uint64_t>(pops_[idx]));
+          }
+          if (flags & kStarved) metrics_->count(m_starves_);
+          metrics_->observe(m_depth_,
+                            static_cast<std::uint64_t>(depth_scratch_[idx]));
+          consume_sojourn(lanes_[static_cast<std::size_t>(i)],
+                          samples_after_[idx]);
+        }
       }
       sample.overflowed_lanes = overflowed_so_far_;
       // Rounds where every lane has already finished are scheduling
@@ -226,6 +301,7 @@ class PoolScheduler {
       // timeline — cover exactly the rounds with live lanes and stay
       // invariant under rounds_per_dispatch.
       if (sample.live_lanes == 0) continue;
+      if (tracer_) served_.assign(static_cast<std::size_t>(engines_), -1);
       for (int e = 0; e < engines_; ++e) {
         EngineTelemetry& stats = telemetry_.engine_stats[static_cast<std::size_t>(e)];
         const int lane = assignments_[static_cast<std::size_t>(r) * engines_ +
@@ -238,11 +314,19 @@ class PoolScheduler {
           ++stats.busy_rounds;
           stats.cycles += cycles_[idx];
           sample.cycles += cycles_[idx];
+          if (tracer_) served_[static_cast<std::size_t>(e)] = lane;
         } else {
           ++stats.idle_rounds;
         }
       }
       telemetry_.timeline.push_back(sample);
+      if (tracer_) trace_round_schedule(*tracer_, start + r, served_, drain);
+      if (metrics_) {
+        metrics_->set_gauge(m_live_, sample.live_lanes);
+        metrics_->set_gauge(m_paused_, sample.paused_lanes);
+        metrics_->set_gauge(m_overflowed_, overflowed_so_far_);
+        metrics_->tick(start + r);
+      }
     }
   }
 
@@ -263,6 +347,10 @@ class PoolScheduler {
     cycles_.assign(static_cast<std::size_t>(n), 0);
     flags_.assign(static_cast<std::size_t>(n), 0);
     depth_scratch_.assign(static_cast<std::size_t>(n), 0);
+    if (metrics_) {
+      pops_.assign(static_cast<std::size_t>(n), 0);
+      samples_after_.assign(static_cast<std::size_t>(n), 0);
+    }
 
     // Pre-round state and admission transitions, in lane order. A paused
     // lane re-admits once its backlog reaches the low-water mark; an
@@ -288,19 +376,22 @@ class PoolScheduler {
             lane.stepper.resume();
             ++lane.telemetry.resumes;
             if (admission_.codel()) lane.codel.on_resume(round);
+            if (lane.track) trace_admission_resume(*lane.track, round, depth);
+            if (metrics_) metrics_->count(m_resumes_);
             // A fully drained lane with no trace left finishes on resume.
             finished = lane.finished_admission(trace_rounds);
           }
         } else {
           bool freeze;
+          bool by_codel = false;
           if (admission_.codel()) {
             // The CoDel law observes every admitted round (the call arms
             // and disarms its deadline); the depth high-water mark stays
             // behind it as the overflow backstop, so codel never loses a
             // lane that pause mode would have kept.
-            freeze = lane.codel.should_pause(round, lane.qos.head_age(round),
-                                             depth) ||
-                     depth >= admission_.high_water;
+            by_codel = lane.codel.should_pause(round, lane.qos.head_age(round),
+                                               depth);
+            freeze = by_codel || depth >= admission_.high_water;
           } else {
             freeze = depth >= admission_.high_water;
           }
@@ -310,6 +401,10 @@ class PoolScheduler {
             // need — tests exercise it directly.
             (void)lane.stepper.checkpoint();
             ++lane.telemetry.pauses;
+            if (lane.track) {
+              trace_admission_pause(*lane.track, round, by_codel, depth);
+            }
+            if (metrics_) metrics_->count(m_pauses_);
           }
         }
       }
@@ -378,6 +473,7 @@ class PoolScheduler {
       Lane& lane = lanes_[static_cast<std::size_t>(i)];
       const auto idx = static_cast<std::size_t>(i);
       if (finished_[idx]) return;
+      if (lane.track) lane.track->set_round(round);
       std::uint8_t flags = 0;
       if (paused_[idx]) {
         flags = kPausedF;
@@ -387,6 +483,10 @@ class PoolScheduler {
           lane.qos.on_pops(lane.stepper.last_spend_pops(), round);
           flags |= kServed;
           ++lane.telemetry.served_rounds;
+          if (lane.track) {
+            lane.track->emit(obs::EventKind::kSpend, cycles_[idx]);
+          }
+          if (metrics_) pops_[idx] = lane.stepper.last_spend_pops();
         }
       } else {
         flags = kActive;
@@ -411,19 +511,39 @@ class PoolScheduler {
         }
         if (pushed) {
           flags |= kPushed;
+          if (lane.track) {
+            lane.track->emit(
+                obs::EventKind::kPush,
+                static_cast<std::uint64_t>(lane.stepper.engine().stored_layers()),
+                (flags & kRealPush) ? 1 : 0);
+          }
           if (grant_[idx] >= 0) {
             cycles_[idx] = lane.stepper.spend(config_.cycles_per_round);
             lane.qos.on_pops(lane.stepper.last_spend_pops(), round);
             flags |= kServed;
             ++lane.telemetry.served_rounds;
+            if (lane.track) {
+              lane.track->emit(obs::EventKind::kSpend, cycles_[idx]);
+            }
+            if (metrics_) pops_[idx] = lane.stepper.last_spend_pops();
           } else if (backlog) {
             flags |= kStarved;
             ++lane.telemetry.starved_rounds;
+            if (lane.track) {
+              lane.track->emit(obs::EventKind::kStarve,
+                               static_cast<std::uint64_t>(
+                                   lane.stepper.engine().stored_layers()));
+            }
           }
+        } else if (lane.track) {
+          lane.track->emit(obs::EventKind::kOverflow,
+                           static_cast<std::uint64_t>(
+                               lane.stepper.engine().stored_layers()));
         }
       }
       lane.record_depth();
       depth_scratch_[idx] = lane.stepper.engine().stored_layers();
+      if (metrics_) samples_after_[idx] = lane.qos.samples().size();
       flags_[idx] = flags;
     });
 
@@ -440,15 +560,35 @@ class PoolScheduler {
         if (flags & kRealPush) real_push = true;
         if (flags & kStarved) ++sample.starved_lanes;
         if (!(flags & kPushed)) ++overflowed_so_far_;
+        if (metrics_) {
+          if (flags & kPushed) {
+            metrics_->count((flags & kRealPush) ? m_pushes_ : m_drain_pushes_);
+          } else {
+            metrics_->count(m_overflows_);
+          }
+          if (flags & kStarved) metrics_->count(m_starves_);
+        }
       } else {
         ++sample.paused_lanes;
       }
-      if (flags & kServed) ++sample.served_lanes;
+      if (flags & kServed) {
+        ++sample.served_lanes;
+        if (metrics_) {
+          metrics_->count(m_serves_);
+          metrics_->count(m_pops_, static_cast<std::uint64_t>(pops_[idx]));
+        }
+      }
       sample.depth_sum += static_cast<std::uint64_t>(depth_scratch_[idx]);
       sample.depth_max = std::max(sample.depth_max, depth_scratch_[idx]);
+      if (metrics_) {
+        metrics_->observe(m_depth_,
+                          static_cast<std::uint64_t>(depth_scratch_[idx]));
+        consume_sojourn(lanes_[idx], samples_after_[idx]);
+      }
     }
     sample.overflowed_lanes = overflowed_so_far_;
     sample.drain = !real_push;
+    if (tracer_) served_.assign(static_cast<std::size_t>(engines_), -1);
     for (int e = 0; e < engines_; ++e) {
       EngineTelemetry& stats =
           telemetry_.engine_stats[static_cast<std::size_t>(e)];
@@ -457,15 +597,34 @@ class PoolScheduler {
         ++stats.busy_rounds;
         stats.cycles += cycles_[static_cast<std::size_t>(lane)];
         sample.cycles += cycles_[static_cast<std::size_t>(lane)];
+        if (tracer_) served_[static_cast<std::size_t>(e)] = lane;
       } else {
         ++stats.idle_rounds;
       }
     }
     telemetry_.timeline.push_back(sample);
+    if (tracer_) trace_round_schedule(*tracer_, round, served_, sample.drain);
+    if (metrics_) {
+      metrics_->set_gauge(m_live_, sample.live_lanes);
+      metrics_->set_gauge(m_paused_, sample.paused_lanes);
+      metrics_->set_gauge(m_overflowed_, overflowed_so_far_);
+      metrics_->tick(round);
+    }
     return true;
   }
 
  private:
+  /// Feeds the lane's sojourn samples [obs_consumed, upto) to the windowed
+  /// histogram. Called only from the reductions, in fixed (round, lane)
+  /// order, so window attribution never depends on threads or batching.
+  void consume_sojourn(Lane& lane, std::size_t upto) {
+    const auto& samples = lane.qos.samples();
+    for (std::size_t k = lane.obs_consumed; k < upto; ++k) {
+      metrics_->observe(m_sojourn_, samples[k]);
+    }
+    lane.obs_consumed = upto;
+  }
+
   static constexpr std::uint8_t kActive = 1;   ///< lane took part in the round
   static constexpr std::uint8_t kPushed = 2;   ///< layer accepted (no overflow)
   static constexpr std::uint8_t kServed = 4;   ///< consumed an engine grant
@@ -478,9 +637,26 @@ class PoolScheduler {
   const StreamConfig& config_;
   const AdmissionConfig admission_;
   StreamTelemetry& telemetry_;
+  obs::Tracer* const tracer_ = nullptr;            ///< null = tracing off
+  obs::MetricsRegistry* const metrics_ = nullptr;  ///< null = metrics off
   const int engines_;
   const int batch_;
   int overflowed_so_far_ = 0;
+
+  // Metrics instrument ids (valid only when metrics_ is set).
+  int m_pushes_ = -1;
+  int m_drain_pushes_ = -1;
+  int m_pops_ = -1;
+  int m_serves_ = -1;
+  int m_starves_ = -1;
+  int m_overflows_ = -1;
+  int m_pauses_ = -1;
+  int m_resumes_ = -1;
+  int m_live_ = -1;
+  int m_paused_ = -1;
+  int m_overflowed_ = -1;
+  int m_depth_ = -1;
+  int m_sojourn_ = -1;
 
   std::vector<int> depth_;             // pre-round, for the policy view
   std::vector<std::uint8_t> finished_;
@@ -492,6 +668,9 @@ class PoolScheduler {
   std::vector<std::uint64_t> cycles_;  // [lane][round]: cycles consumed
   std::vector<std::uint8_t> flags_;    // [lane][round]: kActive | ...
   std::vector<int> depth_scratch_;     // [lane][round]: post-round depth
+  std::vector<int> served_;            // tracer: per-round consumed grants
+  std::vector<int> pops_;              // metrics: [lane][round] layers popped
+  std::vector<std::size_t> samples_after_;  // metrics: cumulative sojourn count
 };
 
 }  // namespace
@@ -579,6 +758,21 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
   }
 
   StreamOutcome outcome;
+  if (config.obs.trace) {
+    outcome.tracer = std::make_shared<obs::Tracer>(
+        n, engines,
+        static_cast<std::size_t>(std::max(1, config.obs.trace_ring)));
+    for (int i = 0; i < n; ++i) {
+      Lane& lane = lanes[static_cast<std::size_t>(i)];
+      lane.track = &outcome.tracer->lane(i);
+      lane.stepper.set_obs_track(lane.track);  // engine pop events
+      lane.codel.set_obs_track(lane.track);    // CoDel arm/disarm events
+    }
+  }
+  if (config.obs.metrics) {
+    outcome.metrics = std::make_shared<obs::MetricsRegistry>(
+        std::max(1, config.obs.metrics_window));
+  }
   outcome.telemetry.distance = static_cast<int>(trace.header().distance);
   outcome.telemetry.p = trace.header().p_data;
   outcome.telemetry.cycles_per_round = config.cycles_per_round;
@@ -596,7 +790,8 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
   }
 
   PoolScheduler scheduler(lanes, *policy, engines, config, admission,
-                          outcome.telemetry);
+                          outcome.telemetry, outcome.tracer.get(),
+                          outcome.metrics.get());
 
   if (admission.pause()) {
     // Admission-controlled run: one round at a time, per-lane cursors.
@@ -650,6 +845,10 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
         (!pause_mode ||
          (lane.cursor >= trace.rounds() && !lane.stepper.paused()));
     t.drained = drained;
+    // The drained event lands at the lane's last executed round (its
+    // track cursor) — deterministic, since a lane participates in the
+    // same rounds regardless of threads or batching.
+    if (drained && lane.track) lane.track->emit(obs::EventKind::kDrained);
     t.popped_layers = static_cast<int>(result.layer_cycles.size());
     t.total_cycles = result.total_cycles;
     t.layer_cycles = result.layer_cycles;
@@ -675,6 +874,7 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
   for (const auto& lane : outcome.telemetry.lanes) {
     outcome.logical_failures += lane.logical_failure ? 1 : 0;
   }
+  if (outcome.metrics) outcome.metrics->finish();
   return outcome;
 }
 

@@ -35,12 +35,34 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stream/telemetry.hpp"
 #include "stream/trace.hpp"
 
 namespace qec {
+
+/// Observability switches riding StreamConfig (src/obs, DESIGN.md
+/// section 12). Both default off; a disabled tracer costs one branch per
+/// hook site, so instrumented builds run within noise of PR 6. All event
+/// timestamps are logical rounds — the trace and the metrics CSV are pure
+/// functions of (trace, config minus threads), byte-identical at any
+/// thread count.
+struct StreamObsConfig {
+  /// Record the per-track event trace (StreamOutcome::tracer).
+  bool trace = false;
+  /// Per-track ring capacity in events; the ring is a flight recorder —
+  /// once full the oldest events are overwritten and counted as dropped.
+  int trace_ring = 1 << 14;
+  /// Maintain the windowed metrics registry (StreamOutcome::metrics).
+  bool metrics = false;
+  /// Rounds per metrics window (counters are window deltas, gauges are
+  /// sampled at window close, histograms reset per window).
+  int metrics_window = 64;
+};
 
 struct StreamConfig {
   int lanes = 8;        ///< concurrent logical-qubit streams
@@ -97,6 +119,9 @@ struct StreamConfig {
 
   /// Worker threads (<= 0: all hardware threads). Never changes results.
   int threads = 1;
+
+  /// Event tracing and windowed metrics (src/obs); both off by default.
+  StreamObsConfig obs;
 };
 
 struct StreamOutcome {
@@ -106,6 +131,13 @@ struct StreamOutcome {
   int drained_lanes = 0;
   int logical_failures = 0;  ///< among operationally successful lanes
   int failed_lanes = 0;      ///< overflow + undrained + logical
+
+  /// Populated when config.obs.trace: the merged event timeline
+  /// (obs::write_chrome_trace serializes it for Perfetto).
+  std::shared_ptr<obs::Tracer> tracer;
+  /// Populated when config.obs.metrics: the closed-window time series
+  /// (MetricsRegistry::write_csv serializes it).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// Samples one memory-experiment history per lane (independent per-lane

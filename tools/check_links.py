@@ -32,6 +32,7 @@ DEFAULT_FILES = [
     "docs/streaming.md",
     "docs/trace_format.md",
     "docs/determinism.md",
+    "docs/observability.md",
 ]
 
 

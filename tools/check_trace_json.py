@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validator for --trace-json Chrome-trace-event timelines (stdlib only).
+
+The streaming benches (stream_soak, pool_scaling, lane_scaling) export the
+obs event trace as Chrome trace-event JSON (src/obs/chrome_trace.cpp) so
+any run opens in Perfetto / chrome://tracing. This checker fails the build
+when an export stops being loadable: bad JSON, a missing required key, an
+unknown phase, a negative duration, or per-track timestamps that run
+backwards (the merge order the tracer guarantees). CI runs it against a
+stream_soak smoke in both build jobs.
+
+Usage: tools/check_trace_json.py trace.json [trace2.json ...]
+
+Checks per event: "ph"/"ts"/"pid"/"tid"/"name" present, "ph" in the known
+set, "ts" numeric and >= 0, "dur" >= 0 on "X" events, instants carry
+"s". Checks per (pid, tid) track: timestamps nondecreasing. Unbalanced
+"B"/"E" pairs are reported as warnings only — a ring that dropped its
+oldest events can legitimately orphan an "E".
+"""
+import json
+import sys
+
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+KNOWN_PHASES = {"B", "E", "X", "i", "M", "C"}
+
+
+def check_events(events, label):
+    errors = []
+    warnings = []
+    last_ts = {}
+    open_spans = {}
+    for i, event in enumerate(events):
+        where = f"{label}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in event]
+        if missing:
+            errors.append(f"{where} missing key(s) {missing}")
+            continue
+        ph = event["ph"]
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where} unknown phase '{ph}'")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            errors.append(f"{where} 'ts' is not a number")
+            continue
+        if ts < 0:
+            errors.append(f"{where} 'ts' is negative ({ts})")
+        if ph == "M":
+            continue  # metadata carries no timeline semantics
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                errors.append(f"{where} 'X' event without numeric 'dur'")
+            elif dur < 0:
+                errors.append(f"{where} negative 'dur' ({dur})")
+        if ph == "i" and "s" not in event:
+            errors.append(f"{where} instant without scope 's'")
+        track = (event["pid"], event["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            errors.append(
+                f"{where} 'ts' {ts} runs backwards on track pid={track[0]} "
+                f"tid={track[1]} (previous {last_ts[track]})")
+        last_ts[track] = ts
+        if ph == "B":
+            open_spans[track] = open_spans.get(track, 0) + 1
+        elif ph == "E":
+            if open_spans.get(track, 0) > 0:
+                open_spans[track] -= 1
+            else:
+                warnings.append(
+                    f"{where} 'E' with no open 'B' on track pid={track[0]} "
+                    f"tid={track[1]} (ring drop?)")
+    for (pid, tid), depth in sorted(open_spans.items()):
+        if depth > 0:
+            warnings.append(
+                f"{label}: {depth} unclosed 'B' span(s) on track pid={pid} "
+                f"tid={tid}")
+    return errors, warnings
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"{path}: {err}"], []
+    if isinstance(doc, list):
+        events = doc  # the JSON-array flavour of the format
+    elif isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return [f"{path}: 'traceEvents' is not an array"], []
+    else:
+        return [f"{path}: top level is neither object nor array"], []
+    if not events:
+        return [f"{path}: no trace events"], []
+    return check_events(events, path)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_trace_json.py trace.json [...]", file=sys.stderr)
+        return 2
+    errors = []
+    warnings = []
+    for path in argv[1:]:
+        file_errors, file_warnings = check_file(path)
+        errors.extend(file_errors)
+        warnings.extend(file_warnings)
+    for warning in warnings:
+        print(f"check_trace_json: warning: {warning}", file=sys.stderr)
+    for error in errors:
+        print(f"check_trace_json: {error}", file=sys.stderr)
+    if not errors:
+        print(f"check_trace_json: {len(argv) - 1} file(s) OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
