@@ -51,6 +51,12 @@ std::string event_args(const TraceEvent& event) {
       return "{}";
     case EventKind::kGrant:
       return "{\"lane\": " + u64(event.payload) + "}";
+    case EventKind::kCache:
+      return "{\"cycles\": " + u64(event.payload) + ", \"outcome\": \"" +
+             (event.arg == kCacheHit
+                  ? "hit"
+                  : (event.arg == kCacheZero ? "zero" : "miss")) +
+             "\"}";
   }
   return "{}";
 }

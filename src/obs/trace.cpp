@@ -18,6 +18,7 @@ const char* event_name(EventKind kind) {
     case EventKind::kCodelDisarm: return "codel_disarm";
     case EventKind::kDrained: return "drained";
     case EventKind::kGrant: return "grant";
+    case EventKind::kCache: return "cache";
   }
   return "unknown";
 }

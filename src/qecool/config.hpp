@@ -19,6 +19,35 @@ struct CycleModel {
   std::uint32_t pop = 1;            ///< SHIFTREG broadcast.
 };
 
+/// Decode-window memoization knobs (src/qecool/decode_cache.hpp, DESIGN.md
+/// section 13). The cache is engine-external — QecoolEngine only holds a
+/// non-owning pointer — so this config rides along wherever an engine is
+/// built (run_online, BatchQecoolDecoder, the streaming service) and each
+/// owner decides how many shards to materialize.
+struct DecodeCacheConfig {
+  /// Master switch: false reproduces the uncached engine byte for byte
+  /// (no lookups, no installs, no cache trace events).
+  bool enabled = true;
+
+  /// Entries per cache shard; 0 behaves like enabled = false.
+  int entries = 4096;
+
+  /// Cache shards for the streaming service's lane pool. Lanes are split
+  /// into `shards` contiguous blocks, each block sharing one shard and
+  /// executing sequentially on whichever worker claims it — so cache
+  /// contents never depend on --threads. <= 0 picks one shard per 256
+  /// lanes (capped at 16). Single-engine owners ignore this.
+  int shards = 0;
+
+  /// Sparsity gate: windows carrying more than this many defect bits
+  /// across all resident layers bypass the cache (no probe, no install —
+  /// counted in DecodeCacheStats::bypasses). Dense backlogged windows
+  /// are near-unique, so probing them only buys key-build and install
+  /// churn; the small windows that actually recur sit well under this
+  /// bound. <= 0 disables the gate (every eligible window is probed).
+  int max_defects = 6;
+};
+
 struct QecoolConfig {
   /// Reg queue capacity per Unit. The paper's hardware uses 7 (Section
   /// IV-A: "at least three measurement values ... 7-bit with some margin");
@@ -51,6 +80,11 @@ struct QecoolConfig {
   bool record_trace = false;
 
   CycleModel cycles;
+
+  /// Decode-window memoization (attached by the engine's owner; the
+  /// record_trace path bypasses it because MatchEvent cycle stamps depend
+  /// on absolute engine time, which replay does not reproduce).
+  DecodeCacheConfig cache;
 };
 
 }  // namespace qec

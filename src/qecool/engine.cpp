@@ -42,12 +42,52 @@ QecoolEngine::QecoolEngine(const PlanarLattice& lattice,
   reg_.assign(static_cast<std::size_t>(reg_capacity_), PackedBits(units));
   occupancy_ = PackedBits(units);
   correction_ = PackedBits(static_cast<std::size_t>(lattice.num_data()));
+  corr_before_ = PackedBits(static_cast<std::size_t>(lattice.num_data()));
+  // unit -> (row, col) lookup: best_candidate() decodes every defect's
+  // coordinates on each spike fan-in; a table beats div/mod by the
+  // non-constant cols_.
+  row_of_.resize(units);
+  col_of_.resize(units);
+  for (std::size_t u = 0; u < units; ++u) {
+    row_of_[u] = static_cast<std::int16_t>(u / static_cast<std::size_t>(cols_));
+    col_of_[u] = static_cast<std::int16_t>(u % static_cast<std::size_t>(cols_));
+  }
+
+  // Cache-key seed: a digest of everything that shapes a run's outcome
+  // besides the dynamic state, so engines with different geometry or
+  // knobs sharing one cache shard can never replay each other's entries
+  // (the full-key compare would still catch it; the digest keeps such
+  // cross-config probes from even colliding in practice).
+  const std::uint64_t digest[] = {
+      static_cast<std::uint64_t>(rows_),
+      static_cast<std::uint64_t>(cols_),
+      static_cast<std::uint64_t>(reg_capacity_),
+      static_cast<std::uint64_t>(nlimit_),
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(config_.thv)),
+      static_cast<std::uint64_t>(config_.deprioritize_boundary ? 1 : 0) |
+          (config_.start_at_max_hop ? 2u : 0u),
+      static_cast<std::uint64_t>(config_.cycles.row_skip) |
+          (static_cast<std::uint64_t>(config_.cycles.token_hop) << 32),
+      static_cast<std::uint64_t>(config_.cycles.request) |
+          (static_cast<std::uint64_t>(config_.cycles.correct) << 32),
+      static_cast<std::uint64_t>(config_.cycles.pass_overhead) |
+          (static_cast<std::uint64_t>(config_.cycles.pop) << 32),
+  };
+  cache_seed_ = hash_key_words(digest, std::size(digest), 0);
 }
 
 bool QecoolEngine::push_layer(const PackedBits& difference_layer) {
   assert(difference_layer.size() ==
          static_cast<std::size_t>(rows_ * cols_));
   if (m_ == reg_capacity_) return false;  // buffer overflow
+  if (difference_layer.none()) {
+    // All-zero layer (the overwhelmingly common case near threshold, and
+    // every drain round): slots at or past m_ are already all-zero, so
+    // claiming the slot is the whole push.
+    ++cache_stats_.zero_pushes;
+    ++m_;
+    return true;
+  }
   reg_[static_cast<std::size_t>(m_)].copy_from(difference_layer);
   ++m_;
   return true;
@@ -83,6 +123,29 @@ bool QecoolEngine::row_has_any_bit(int row) const {
     }
   }
   return false;
+}
+
+int QecoolEngine::next_occupied_row(int from) const {
+  // OR the resident layers one word at a time; tail bits past num_checks
+  // are zero by the PackedBits invariant, so no end masking is needed.
+  const std::size_t words = reg_[0].num_words();
+  const std::size_t unit =
+      static_cast<std::size_t>(from) * static_cast<std::size_t>(cols_);
+  std::uint64_t drop_mask = ~std::uint64_t{0} << (unit % 64);
+  for (std::size_t w = unit / 64; w < words; ++w) {
+    std::uint64_t combined = 0;
+    for (int t = 0; t < m_; ++t) {
+      combined |= reg_[static_cast<std::size_t>(t)].word(w);
+    }
+    combined &= drop_mask;
+    drop_mask = ~std::uint64_t{0};
+    if (combined != 0) {
+      const std::size_t first = w * 64 + static_cast<std::size_t>(
+                                             qec_countr_zero64(combined));
+      return static_cast<int>(first / static_cast<std::size_t>(cols_));
+    }
+  }
+  return rows_;
 }
 
 bool QecoolEngine::base_layer_clear() const {
@@ -122,31 +185,40 @@ std::optional<QecoolEngine::Candidate> QecoolEngine::best_candidate(
   }
 
   // Spatial candidates: only Units with a resident defect at depth >= base
-  // can answer. Their union is the OR of the resident layers — walk its
-  // set bits instead of scanning the full grid (the spike fan-in is sparse
-  // at any physical error rate worth decoding).
-  occupancy_.copy_from(reg_[static_cast<std::size_t>(base)]);
-  for (int t = base + 1; t < m_; ++t) {
-    occupancy_ |= reg_[static_cast<std::size_t>(t)];
-  }
-  occupancy_.for_each_set([&](std::size_t u) {
-    if (static_cast<int>(u) == sink) return;
-    const int r = static_cast<int>(u) / cols_;
-    const int c = static_cast<int>(u) % cols_;
-    const int t = first_set_depth(static_cast<int>(u), base);
-    assert(t >= 0);
-    const int spatial = std::abs(r - sink_row) + std::abs(c - sink_col);
-    const int arrival = spatial + (t - base);
-    if (arrival > hop_limit) return;
-    int port;
-    if (c != sink_col) {
-      port = c < sink_col ? kPortWest : kPortEast;
-    } else {
-      port = r < sink_row ? kPortNorth : kPortSouth;
+  // can answer, each at its *first* set depth. Walk the layers upward from
+  // the base, visiting only bits not claimed by a shallower layer — that
+  // yields every unit's first depth in one sweep instead of a per-defect
+  // depth scan (the spike fan-in is sparse at any physical error rate
+  // worth decoding). occupancy_ accumulates the claimed units.
+  const std::size_t words = reg_[0].num_words();
+  occupancy_.clear_all();
+  for (int t = base; t < m_; ++t) {
+    const PackedBits& layer = reg_[static_cast<std::size_t>(t)];
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t fresh = layer.word(w) & ~occupancy_.word(w);
+      occupancy_.xor_word(w, fresh);  // fresh is disjoint from occupancy_
+      while (fresh) {
+        const std::size_t u =
+            (w << 6) + static_cast<std::size_t>(qec_countr_zero64(fresh));
+        fresh &= fresh - 1;
+        if (static_cast<int>(u) == sink) continue;
+        const int r = row_of_[u];
+        const int c = col_of_[u];
+        const int spatial =
+            std::abs(r - sink_row) + std::abs(c - sink_col);
+        const int arrival = spatial + (t - base);
+        if (arrival > hop_limit) continue;
+        int port;
+        if (c != sink_col) {
+          port = c < sink_col ? kPortWest : kPortEast;
+        } else {
+          port = r < sink_row ? kPortNorth : kPortSouth;
+        }
+        consider(Candidate{2 * static_cast<std::int64_t>(arrival), port, t, r,
+                           c, Candidate::Kind::Unit});
+      }
     }
-    consider(Candidate{2 * static_cast<std::int64_t>(arrival), port, t, r, c,
-                       Candidate::Kind::Unit});
-  });
+  }
 
   // Boundary Units always answer a requestSpike(); the nearer side wins.
   const int bdist = lattice_.boundary_distance(sink_col);
@@ -202,6 +274,9 @@ std::uint64_t QecoolEngine::process_unit(int row, int col) {
           static_cast<std::size_t>(sink));
       ++stats_.self_matches;
       stats_.record(dt);
+      if (recording_) {
+        match_scratch_.push_back((1u << 30) | static_cast<std::uint32_t>(dt));
+      }
       break;
     }
     case Candidate::Kind::Unit: {
@@ -212,25 +287,29 @@ std::uint64_t QecoolEngine::process_unit(int row, int col) {
       spent += static_cast<std::uint64_t>(spatial + dt);
       spent += static_cast<std::uint64_t>(spatial);
       spent += config_.cycles.correct;
-      const std::vector<int> path =
-          lattice_.l_path({winner->row, winner->col}, {row, col});
-      for (int q : path) correction_.flip(static_cast<std::size_t>(q));
+      lattice_.l_path_into({winner->row, winner->col}, {row, col},
+                           path_scratch_);
+      for (int q : path_scratch_) correction_.flip(static_cast<std::size_t>(q));
       reg_[static_cast<std::size_t>(b_)].reset(static_cast<std::size_t>(sink));
       reg_[static_cast<std::size_t>(winner->t)].reset(static_cast<std::size_t>(
           unit_index(winner->row, winner->col)));
       ++stats_.pair_matches;
       stats_.record(dt);
+      if (recording_) {
+        match_scratch_.push_back(static_cast<std::uint32_t>(dt));
+      }
       break;
     }
     case Candidate::Kind::Boundary: {
       const int bdist = lattice_.boundary_distance(col);
       spent += static_cast<std::uint64_t>(2 * bdist);
       spent += config_.cycles.correct;
-      const std::vector<int> path = lattice_.boundary_path({row, col});
-      for (int q : path) correction_.flip(static_cast<std::size_t>(q));
+      lattice_.boundary_path_into({row, col}, path_scratch_);
+      for (int q : path_scratch_) correction_.flip(static_cast<std::size_t>(q));
       reg_[static_cast<std::size_t>(b_)].reset(static_cast<std::size_t>(sink));
       ++stats_.boundary_matches;
       stats_.record(0);
+      if (recording_) match_scratch_.push_back(2u << 30);
       break;
     }
   }
@@ -249,43 +328,297 @@ void QecoolEngine::pop_layer() {
   --m_;
   layer_cycles_.push_back(cycles_ - last_pop_cycles_);
   last_pop_cycles_ = cycles_;
+  if (recording_) {
+    pop_offsets_scratch_.push_back(cycles_ - run_start_cycles_);
+  }
   if (obs_track_) {
     obs_track_->emit(obs::EventKind::kPop, layer_cycles_.back());
   }
 }
 
 std::uint64_t QecoolEngine::run(std::uint64_t budget) {
+  if (budget == 0 || m_ == 0) return 0;
+
+  // One pass over the resident layers serves both the all-clear test and
+  // the cache's sparsity gate: count defect bits, stopping as soon as the
+  // window is provably dense (or, with the gate off, provably non-empty).
+  const bool cached = cache_ != nullptr && !config_.record_trace;
+  const int limit =
+      cached && config_.cache.max_defects > 0 ? config_.cache.max_defects : 0;
+  int defects = 0;
+  for (int t = 0; t < m_ && defects <= limit; ++t) {
+    defects += static_cast<int>(reg_[static_cast<std::size_t>(t)].popcount());
+  }
+
+  if (defects == 0) {
+    // All resident layers clean: the scan would only skip rows and pop —
+    // emulate those charges analytically, no hashing, no lookup.
+    ++cache_stats_.zero_rounds;
+    const std::uint64_t consumed = run_all_clear(budget);
+    if (obs_track_ && cache_ != nullptr) {
+      obs_track_->emit(obs::EventKind::kCache, consumed, obs::kCacheZero);
+    }
+    return consumed;
+  }
+
+  // Idle when no work can make progress (the scan's loop-entry check):
+  // the base layer is dirty and nothing is old enough under thv.
+  if (!base_layer_clear() && !has_eligible_base()) return 0;
+
+  if (!cached) return run_scan(budget);
+
+  // Sparsity gate: dense windows are near-unique, so probing them only
+  // buys key-build and install churn — hand them straight to the scan,
+  // no probe, no install, only the bypass counter.
+  if (limit > 0 && defects > limit) {
+    ++cache_stats_.bypasses;
+    const std::uint64_t consumed = run_scan(budget);
+    if (obs_track_) {
+      obs_track_->emit(obs::EventKind::kCache, consumed, obs::kCacheBypass);
+    }
+    return consumed;
+  }
+
+  const std::uint64_t hash = build_cache_key(budget);
+  if (const DecodeOutcome* outcome = cache_->lookup(hash, key_)) {
+    ++cache_stats_.hits;
+    const std::uint64_t consumed = replay(*outcome);
+    if (obs_track_) {
+      obs_track_->emit(obs::EventKind::kCache, consumed, obs::kCacheHit);
+    }
+    return consumed;
+  }
+
+  ++cache_stats_.misses;
+  recording_ = true;
+  run_start_cycles_ = cycles_;
+  pop_offsets_scratch_.clear();
+  match_scratch_.clear();
+  corr_before_.copy_from(correction_);
+  const std::uint64_t consumed = run_scan(budget);
+  recording_ = false;
+  ++cache_stats_.installs;
+  build_outcome(consumed);
+  if (cache_->install(hash, key_, outcome_scratch_)) {
+    ++cache_stats_.evictions;
+  }
+  if (obs_track_) {
+    obs_track_->emit(obs::EventKind::kCache, consumed, obs::kCacheMiss);
+  }
+  return consumed;
+}
+
+std::uint64_t QecoolEngine::run_all_clear(std::uint64_t budget) {
+  std::uint64_t spent = 0;
+  const int c_start = config_.start_at_max_hop ? nlimit_ : 1;
+  const std::uint64_t skip = config_.cycles.row_skip;
+  while (spent < budget && m_ > 0) {
+    if (row_ < rows_) {
+      // Every remaining row charges row_skip with a per-row budget check
+      // (a charge may overshoot, exactly like the scan loop).
+      std::uint64_t steps = static_cast<std::uint64_t>(rows_ - row_);
+      if (skip > 0) {
+        // Ceiling division written overflow-safe: budget may be kUnlimited.
+        const std::uint64_t left = budget - spent;
+        const std::uint64_t checked = left / skip + (left % skip != 0 ? 1 : 0);
+        if (checked < steps) steps = checked;
+      }
+      spent += steps * skip;
+      cycles_ += steps * skip;
+      row_ += static_cast<int>(steps);
+      continue;
+    }
+    // End of pass; the base layer is clean by premise, so pop. The pass
+    // overhead and the pop charge land in one loop iteration, no budget
+    // check between them — as in the scan.
+    spent += config_.cycles.pass_overhead + config_.cycles.pop;
+    cycles_ += config_.cycles.pass_overhead + config_.cycles.pop;
+    row_ = 0;
+    pop_layer();
+    c_ = c_start;
+    b_ = 0;
+  }
+  return spent;
+}
+
+std::uint64_t QecoolEngine::build_cache_key(std::uint64_t budget) {
+  key_.clear();
+  key_.push_back((static_cast<std::uint64_t>(m_) << 48) |
+                 (static_cast<std::uint64_t>(b_ & 0xffff) << 32) |
+                 (static_cast<std::uint64_t>(c_ & 0xffff) << 16) |
+                 static_cast<std::uint64_t>(row_ & 0xffff));
+  key_.push_back(budget);
+  const std::size_t words = reg_[0].num_words();
+  for (int t = 0; t < m_; ++t) {
+    const PackedBits& layer = reg_[static_cast<std::size_t>(t)];
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t word = layer.word(w);
+      if (word != 0) {
+        key_.push_back(static_cast<std::uint64_t>(t) * words + w);
+        key_.push_back(word);
+      }
+    }
+  }
+  return hash_key_words(key_.data(), key_.size(), cache_seed_);
+}
+
+std::uint64_t QecoolEngine::replay(const DecodeOutcome& outcome) {
+  const std::size_t words = reg_[0].num_words();
+  for (int t = 0; t < m_; ++t) {
+    reg_[static_cast<std::size_t>(t)].clear_all();
+  }
+  for (const auto& [tag, word] : outcome.reg_words) {
+    reg_[tag / words].set_word(tag % words, word);
+  }
+  for (const auto& [w, mask] : outcome.corr_words) {
+    correction_.xor_word(w, mask);
+  }
+  for (const std::uint32_t record : outcome.match_records) {
+    const std::uint32_t kind = record >> 30;
+    const int dt = static_cast<int>(record & ((1u << 30) - 1));
+    if (kind == 0) {
+      ++stats_.pair_matches;
+    } else if (kind == 1) {
+      ++stats_.self_matches;
+    } else {
+      ++stats_.boundary_matches;
+    }
+    stats_.record(dt);
+  }
+  const std::uint64_t run_start = cycles_;
+  for (const std::uint64_t offset : outcome.pop_offsets) {
+    const std::uint64_t at = run_start + offset;
+    layer_cycles_.push_back(at - last_pop_cycles_);
+    last_pop_cycles_ = at;
+    if (obs_track_) {
+      obs_track_->emit(obs::EventKind::kPop, layer_cycles_.back());
+    }
+  }
+  m_ = outcome.m_after;
+  b_ = outcome.b_after;
+  c_ = outcome.c_after;
+  row_ = outcome.row_after;
+  cycles_ = run_start + outcome.consumed;
+  return outcome.consumed;
+}
+
+void QecoolEngine::build_outcome(std::uint64_t consumed) {
+  DecodeOutcome& outcome = outcome_scratch_;
+  outcome.reg_words.clear();
+  outcome.corr_words.clear();
+  outcome.consumed = consumed;
+  outcome.m_after = m_;
+  outcome.b_after = b_;
+  outcome.c_after = c_;
+  outcome.row_after = row_;
+  const std::size_t words = reg_[0].num_words();
+  for (int t = 0; t < m_; ++t) {
+    const PackedBits& layer = reg_[static_cast<std::size_t>(t)];
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t word = layer.word(w);
+      if (word != 0) {
+        outcome.reg_words.emplace_back(
+            static_cast<std::uint32_t>(static_cast<std::size_t>(t) * words + w),
+            word);
+      }
+    }
+  }
+  for (std::size_t w = 0; w < correction_.num_words(); ++w) {
+    const std::uint64_t delta = correction_.word(w) ^ corr_before_.word(w);
+    if (delta != 0) {
+      outcome.corr_words.emplace_back(static_cast<std::uint32_t>(w), delta);
+    }
+  }
+  outcome.pop_offsets = pop_offsets_scratch_;
+  outcome.match_records = match_scratch_;
+}
+
+std::uint64_t QecoolEngine::run_scan(std::uint64_t budget) {
   std::uint64_t spent = 0;
   auto charge = [&](std::uint64_t c) {
     cycles_ += c;
     spent += c;
   };
+  const std::uint64_t skip = config_.cycles.row_skip;
 
+  // The stop conditions below depend only on Reg contents and the (m_, b_)
+  // position, so they are invariant across bulk row skips — they need
+  // re-evaluation only after a processed row or an end-of-pass step.
+  bool recheck = true;
   while (spent < budget) {
-    if (m_ == 0) break;
-    // Idle when no work can make progress: the base layer is dirty (cannot
-    // pop) and no stored layer is old enough to decode under thv.
-    if (!base_layer_clear() && !has_eligible_base()) break;
+    if (recheck) {
+      if (m_ == 0) break;
+      // Idle when no work can make progress: the base layer is dirty
+      // (cannot pop) and no stored layer is old enough to decode under
+      // thv.
+      if (!base_layer_clear() && !has_eligible_base()) break;
+      recheck = false;
+    }
 
     if (row_ < rows_) {
       const bool gate_open = (m_ - b_) > config_.thv;
-      if (!row_has_any_bit(row_) || !gate_open) {
-        // Row Master withholds the token: either the row is clean or the
-        // base layer is not yet eligible for decoding.
-        charge(config_.cycles.row_skip);
-      } else {
+      // The Row Master withholds the token from every row up to `stop`:
+      // all remaining rows when the gate is closed, else the clean rows
+      // before the next occupied one. Skipped rows leave the Reg and the
+      // gate untouched, so the run is bulk-charged in one shot with the
+      // same per-row budget check (a charge may overshoot, exactly like
+      // the one-row-at-a-time loop this emulates).
+      const int stop = gate_open ? next_occupied_row(row_) : rows_;
+      if (row_ < stop) {
+        std::uint64_t steps = static_cast<std::uint64_t>(stop - row_);
+        if (skip > 0) {
+          // Ceiling division written overflow-safe: budget may be
+          // kUnlimited.
+          const std::uint64_t left = budget - spent;
+          const std::uint64_t checked =
+              left / skip + (left % skip != 0 ? 1 : 0);
+          if (checked < steps) steps = checked;
+        }
+        spent += steps * skip;
+        cycles_ += steps * skip;
+        row_ += static_cast<int>(steps);
+        continue;
+      }
+      if (config_.record_trace) {
+        // Trace mode stamps event.cycle mid-row, so keep the hop/process
+        // charge interleaving byte-exact.
         for (int col = 0; col < cols_; ++col) {
           charge(config_.cycles.token_hop);
           charge(process_unit(row_, col));
         }
+      } else {
+        // The token visits every Unit of the row (one hop charge each; no
+        // budget check inside a row), but only Units holding a base-layer
+        // defect do sink work — walk those bits directly. Re-read the
+        // word after each match: a pair match may clear a later sink in
+        // this same row.
+        charge(static_cast<std::uint64_t>(cols_) * config_.cycles.token_hop);
+        const std::size_t row_first =
+            static_cast<std::size_t>(row_) * static_cast<std::size_t>(cols_);
+        const std::size_t row_end = row_first + static_cast<std::size_t>(cols_);
+        const PackedBits& layer = reg_[static_cast<std::size_t>(b_)];
+        std::size_t from = row_first;
+        while (from < row_end) {
+          std::size_t w = from / 64;
+          std::uint64_t word = layer.word(w) & (~std::uint64_t{0} << (from % 64));
+          while (word == 0 && (++w) * 64 < row_end) word = layer.word(w);
+          if (word == 0) break;
+          const std::size_t u =
+              w * 64 + static_cast<std::size_t>(qec_countr_zero64(word));
+          if (u >= row_end) break;
+          charge(process_unit(row_, static_cast<int>(u - row_first)));
+          from = u + 1;
+        }
       }
       ++row_;
+      recheck = true;  // matches may have cleared Reg bits
       continue;
     }
 
     // End of a full (C, b) grid pass.
     charge(config_.cycles.pass_overhead);
     row_ = 0;
+    recheck = true;  // the (m_, b_) position moves below
     const int c_start = config_.start_at_max_hop ? nlimit_ : 1;
     if (base_layer_clear()) {
       charge(config_.cycles.pop);

@@ -42,6 +42,7 @@
 
 #include "common/stats.hpp"
 #include "qecool/config.hpp"
+#include "qecool/decode_cache.hpp"
 #include "surface_code/packed_bits.hpp"
 #include "surface_code/pauli_frame.hpp"
 #include "surface_code/planar_lattice.hpp"
@@ -125,6 +126,20 @@ class QecoolEngine {
   /// tracing costs the pop path one branch.
   void set_obs_track(obs::Track* track) { obs_track_ = track; }
 
+  /// Attaches a decode-window memoization cache (non-owning; see
+  /// decode_cache.hpp and DESIGN.md section 13). run() then replays
+  /// cached outcomes on window hits — bit-identical to the uncached scan
+  /// — and installs outcomes on misses. Null detaches. Ignored while
+  /// QecoolConfig::record_trace is set (MatchEvent cycle stamps depend on
+  /// absolute engine time, which replay does not reproduce).
+  void set_decode_cache(DecodeCache* cache) { cache_ = cache; }
+
+  /// This engine's own cache counters: hits/misses/installs/evictions of
+  /// its lookups (meaningful per lane even when lanes share a shard),
+  /// plus the all-zero fast-path counters, which advance with or without
+  /// an attached cache.
+  const DecodeCacheStats& cache_stats() const { return cache_stats_; }
+
  private:
   struct Candidate {
     // Sort key: arrival doubled so the boundary half-cycle penalty stays
@@ -143,6 +158,9 @@ class QecoolEngine {
   }
 
   bool row_has_any_bit(int row) const;
+  /// First row at or after `from` with a bit in any resident layer;
+  /// rows_ when the rest of the pass is clean.
+  int next_occupied_row(int from) const;
   bool base_layer_clear() const;
   int first_set_depth(int unit, int from_depth) const;
   std::optional<Candidate> best_candidate(int sink_row, int sink_col,
@@ -154,6 +172,21 @@ class QecoolEngine {
   void pop_layer();
   /// True if any base layer is eligible for decoding under thv.
   bool has_eligible_base() const;
+
+  /// The token/match scan loop (the pre-cache run() body).
+  std::uint64_t run_scan(std::uint64_t budget);
+  /// Analytic emulation of run_scan when every resident layer is clear:
+  /// bulk row skips and pops, identical charges, no per-word Reg scans.
+  std::uint64_t run_all_clear(std::uint64_t budget);
+  /// Canonicalizes (controller position, budget, sparse Reg words) into
+  /// key_ and returns its hash.
+  std::uint64_t build_cache_key(std::uint64_t budget);
+  /// Applies a cached outcome: state, correction delta, match stats,
+  /// per-layer cycle attribution, and kPop events. Returns cycles spent.
+  std::uint64_t replay(const DecodeOutcome& outcome);
+  /// Packages the just-recorded run into outcome_scratch_ for install()
+  /// (a reused member, so steady-state misses allocate nothing).
+  void build_outcome(std::uint64_t consumed);
 
   const PlanarLattice& lattice_;
   QecoolConfig config_;
@@ -170,6 +203,10 @@ class QecoolEngine {
   /// Scratch for best_candidate(): OR of the resident layers at or above
   /// the base depth — the units that could answer a requestSpike().
   mutable PackedBits occupancy_;
+  /// unit -> (row, col) lookup tables (avoid div/mod on the spike fan-in).
+  std::vector<std::int16_t> row_of_;
+  std::vector<std::int16_t> col_of_;
+  std::vector<int> path_scratch_;  ///< match-path qubits (reused, no alloc)
 
   // Resumable controller position.
   int c_ = 1;    // current hop limit (1..nlimit_)
@@ -182,6 +219,18 @@ class QecoolEngine {
   std::vector<std::uint64_t> layer_cycles_;
   MatchStats stats_;
   std::vector<MatchEvent> trace_;
+
+  // Decode-window memoization (DESIGN.md section 13).
+  DecodeCache* cache_ = nullptr;  ///< non-owning; null = memoization off
+  DecodeCacheStats cache_stats_;
+  std::uint64_t cache_seed_ = 0;  ///< config digest folded into every hash
+  bool recording_ = false;        ///< run_scan feeding the install scratch
+  std::uint64_t run_start_cycles_ = 0;
+  std::vector<std::uint64_t> key_;  ///< canonical key scratch (reused)
+  PackedBits corr_before_;          ///< pre-run correction snapshot
+  std::vector<std::uint64_t> pop_offsets_scratch_;
+  std::vector<std::uint32_t> match_scratch_;
+  DecodeOutcome outcome_scratch_;   ///< install staging (reused)
 };
 
 }  // namespace qec

@@ -1,5 +1,6 @@
 #include "qecool/online_runner.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 namespace qec {
@@ -109,6 +110,11 @@ OnlineResult run_online(const PlanarLattice& lattice,
                         const SyndromeHistory& history,
                         const OnlineConfig& config) {
   OnlineStepper stepper(lattice, config);
+  std::unique_ptr<DecodeCache> cache;
+  if (config.engine.cache.enabled && config.engine.cache.entries > 0) {
+    cache = std::make_unique<DecodeCache>(config.engine.cache.entries);
+    stepper.set_decode_cache(cache.get());
+  }
   for (const auto& layer : history.difference) {
     if (!stepper.step(layer)) break;
   }

@@ -138,6 +138,12 @@ class OnlineStepper {
   /// engine so popped layers emit kPop events. Null disables tracing.
   void set_obs_track(obs::Track* track) { engine_.set_obs_track(track); }
 
+  /// Decode-window memoization hook: forwards a (possibly shared) cache
+  /// shard to the engine. The owner guarantees single-threaded access —
+  /// the streaming service does so by executing each shard's lane block
+  /// sequentially. Null disables memoization.
+  void set_decode_cache(DecodeCache* cache) { engine_.set_decode_cache(cache); }
+
   /// True when the engine consumed everything: every Reg bit clear and no
   /// stored layers left to pop.
   bool drained() const {

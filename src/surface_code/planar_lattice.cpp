@@ -101,34 +101,46 @@ bool PlanarLattice::logical_flip(std::span<const std::uint8_t> error) const {
 
 std::vector<int> PlanarLattice::l_path(CheckCoord from, CheckCoord to) const {
   std::vector<int> path;
+  l_path_into(from, to, path);
+  return path;
+}
+
+void PlanarLattice::l_path_into(CheckCoord from, CheckCoord to,
+                                std::vector<int>& out) const {
+  out.clear();
   // Vertical leg: from (from.row, from.col) toward (to.row, from.col).
   const int step_r = from.row < to.row ? 1 : -1;
   for (int r = from.row; r != to.row; r += step_r) {
     const int top = std::min(r, r + step_r);
-    path.push_back(vertical_qubit(top, from.col));
+    out.push_back(vertical_qubit(top, from.col));
   }
   // Horizontal leg along to.row: between columns from.col and to.col the
   // interior edges are horizontal_qubit(to.row, k) for k in (min+1 .. max).
   const int lo = std::min(from.col, to.col);
   const int hi = std::max(from.col, to.col);
   for (int k = lo + 1; k <= hi; ++k) {
-    path.push_back(horizontal_qubit(to.row, k));
+    out.push_back(horizontal_qubit(to.row, k));
   }
-  return path;
 }
 
 std::vector<int> PlanarLattice::boundary_path(CheckCoord c) const {
   std::vector<int> path;
+  boundary_path_into(c, path);
+  return path;
+}
+
+void PlanarLattice::boundary_path_into(CheckCoord c,
+                                       std::vector<int>& out) const {
+  out.clear();
   const int left = c.col + 1;
   const int right = d_ - 1 - c.col;
   if (left <= right) {
-    for (int k = 0; k <= c.col; ++k) path.push_back(horizontal_qubit(c.row, k));
+    for (int k = 0; k <= c.col; ++k) out.push_back(horizontal_qubit(c.row, k));
   } else {
     for (int k = c.col + 1; k < d_; ++k) {
-      path.push_back(horizontal_qubit(c.row, k));
+      out.push_back(horizontal_qubit(c.row, k));
     }
   }
-  return path;
 }
 
 int PlanarLattice::boundary_distance(int col) const {

@@ -93,10 +93,15 @@ class PlanarLattice {
   /// syndrome signals of Algorithm 1: first vertically from `from` to
   /// `to.row`, then horizontally along that row (an "L" path).
   std::vector<int> l_path(CheckCoord from, CheckCoord to) const;
+  /// l_path() written into `out` (cleared first) — decoder hot paths
+  /// reuse one scratch vector instead of allocating per match.
+  void l_path_into(CheckCoord from, CheckCoord to, std::vector<int>& out) const;
 
   /// Data qubits between check `c` and the nearer of the two rough
   /// boundaries (ties resolved toward the left boundary).
   std::vector<int> boundary_path(CheckCoord c) const;
+  /// boundary_path() written into `out` (cleared first).
+  void boundary_path_into(CheckCoord c, std::vector<int>& out) const;
 
   /// Hop distance from a check to the nearest rough boundary:
   /// min(col + 1, d - 1 - col). Equals boundary_path(c).size().

@@ -1,0 +1,378 @@
+// Tests for the decode-window memoization cache (qecool/decode_cache):
+// unit-level CLOCK eviction and collision safety, bit-exact equivalence
+// of cached and uncached decoding across a p x d grid (online and
+// streaming), thread-count invariance of the cache CSV, the all-zero
+// fast-path counters, and the spec grammar.
+#include "qecool/decode_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "decoder/registry.hpp"
+#include "noise/phenomenological.hpp"
+#include "qecool/engine.hpp"
+#include "qecool/online_runner.hpp"
+#include "stream/service.hpp"
+#include "surface_code/planar_lattice.hpp"
+
+namespace qec {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+DecodeOutcome outcome_with(std::uint64_t consumed) {
+  DecodeOutcome outcome;
+  outcome.consumed = consumed;
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Unit level: the bounded CLOCK map itself.
+
+TEST(DecodeCacheUnit, HitRequiresFullKeyMatch) {
+  DecodeCache cache(8);
+  const std::vector<std::uint64_t> key{1, 2, 3};
+  EXPECT_EQ(cache.lookup(42, key), nullptr);
+  EXPECT_FALSE(cache.install(42, key, outcome_with(7)));
+  const DecodeOutcome* hit = cache.lookup(42, key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->consumed, 7u);
+  // Same hash, different key: a collision must read as a miss.
+  const std::vector<std::uint64_t> other{1, 2, 4};
+  EXPECT_EQ(cache.lookup(42, other), nullptr);
+}
+
+TEST(DecodeCacheUnit, CapacityOneEvictsThePreviousKey) {
+  DecodeCache cache(1);
+  const std::vector<std::uint64_t> k1{1};
+  const std::vector<std::uint64_t> k2{2};
+  EXPECT_FALSE(cache.install(10, k1, outcome_with(1)));
+  EXPECT_NE(cache.lookup(10, k1), nullptr);
+  EXPECT_TRUE(cache.install(20, k2, outcome_with(2)));  // displaced k1
+  EXPECT_EQ(cache.lookup(10, k1), nullptr);
+  ASSERT_NE(cache.lookup(20, k2), nullptr);
+  EXPECT_EQ(cache.lookup(20, k2)->consumed, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecodeCacheUnit, CapacityZeroDisablesTheCache) {
+  DecodeCache cache(0);
+  const std::vector<std::uint64_t> key{1};
+  EXPECT_FALSE(cache.install(10, key, outcome_with(1)));
+  EXPECT_EQ(cache.lookup(10, key), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 0);
+}
+
+TEST(DecodeCacheUnit, ClockEvictionKeepsExactlyCapacityEntries) {
+  DecodeCache cache(2);
+  const std::vector<std::uint64_t> k1{1}, k2{2}, k3{3};
+  EXPECT_FALSE(cache.install(10, k1, outcome_with(1)));
+  EXPECT_FALSE(cache.install(20, k2, outcome_with(2)));
+  EXPECT_TRUE(cache.install(30, k3, outcome_with(3)));  // one of k1/k2 out
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.lookup(30, k3), nullptr);
+  const int survivors = (cache.lookup(10, k1) != nullptr ? 1 : 0) +
+                        (cache.lookup(20, k2) != nullptr ? 1 : 0);
+  EXPECT_EQ(survivors, 1);
+}
+
+TEST(DecodeCacheUnit, ForcedCollisionTakeoverStaysCorrect) {
+  DecodeCache cache(8);
+  cache.set_hash_mask(0);  // every hash becomes 0: maximal collisions
+  const std::vector<std::uint64_t> k1{1}, k2{2};
+  EXPECT_FALSE(cache.install(10, k1, outcome_with(1)));
+  EXPECT_EQ(cache.lookup(20, k2), nullptr);  // collision reads as miss
+  EXPECT_TRUE(cache.install(20, k2, outcome_with(2)));  // takeover
+  EXPECT_EQ(cache.lookup(10, k1), nullptr);
+  ASSERT_NE(cache.lookup(20, k2), nullptr);
+  EXPECT_EQ(cache.lookup(20, k2)->consumed, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine level: cached and uncached runs are bit-identical.
+
+void expect_same_matches(const MatchStats& a, const MatchStats& b) {
+  EXPECT_EQ(a.pair_matches, b.pair_matches);
+  EXPECT_EQ(a.self_matches, b.self_matches);
+  EXPECT_EQ(a.boundary_matches, b.boundary_matches);
+  EXPECT_EQ(a.vertical_ge3, b.vertical_ge3);
+  EXPECT_EQ(a.vertical_hist, b.vertical_hist);
+}
+
+TEST(DecodeCacheEngine, ForcedCollisionsNeverChangeTheDecode) {
+  // mask 0 funnels every window into one bucket: almost every probe is a
+  // collision, every install a takeover — the worst case for the full-key
+  // compare, which must keep outcomes bit-identical to the uncached scan.
+  const PlanarLattice lat(7);
+  QecoolConfig config;
+  config.thv = -1;
+  config.reg_depth = 10;
+  Xoshiro256ss rng(2718);
+  const auto h = sample_history(lat, {0.03, 0.03, 8}, rng);
+
+  QecoolEngine plain(lat, config);
+  QecoolEngine cached(lat, config);
+  DecodeCache cache(16);
+  cache.set_hash_mask(0);
+  cached.set_decode_cache(&cache);
+
+  for (const auto& layer : h.difference) {
+    plain.push_layer(layer);
+    cached.push_layer(layer);
+    // Small budgets so runs suspend and resume mid-decode: the cache key
+    // must cover the controller position, not just the window bits.
+    for (int i = 0; i < 64 && !plain.all_clear(); ++i) plain.run(23);
+    for (int i = 0; i < 64 && !cached.all_clear(); ++i) cached.run(23);
+  }
+  plain.run(QecoolEngine::kUnlimited);
+  cached.run(QecoolEngine::kUnlimited);
+
+  EXPECT_EQ(plain.correction(), cached.correction());
+  EXPECT_EQ(plain.total_cycles(), cached.total_cycles());
+  expect_same_matches(plain.match_stats(), cached.match_stats());
+  EXPECT_GT(cached.cache_stats().misses, 0u);
+}
+
+TEST(DecodeCacheEngine, RepeatedWindowHitsTheCache) {
+  const PlanarLattice lat(5);
+  QecoolConfig config;
+  config.thv = -1;
+  config.reg_depth = 4;
+  QecoolEngine engine(lat, config);
+  DecodeCache cache(16);
+  engine.set_decode_cache(&cache);
+
+  BitVec layer(static_cast<std::size_t>(lat.num_checks()), 0);
+  layer[static_cast<std::size_t>(lat.check_index(2, 2))] = 1;
+  engine.push_layer(layer);
+  engine.run(QecoolEngine::kUnlimited);
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+  engine.push_layer(layer);
+  engine.run(QecoolEngine::kUnlimited);
+  EXPECT_EQ(engine.cache_stats().hits, 1u)
+      << "the second identical window must replay from the cache";
+}
+
+TEST(DecodeCacheOnline, OnOffIdenticalAcrossPAndD) {
+  for (const int d : {3, 5}) {
+    const PlanarLattice lat(d);
+    for (const double p : {0.0, 0.002, 0.01, 0.04}) {
+      Xoshiro256ss rng(static_cast<std::uint64_t>(d * 1000) +
+                       static_cast<std::uint64_t>(p * 1e6));
+      const auto h = sample_history(lat, {p, p, d + 2}, rng);
+
+      OnlineConfig off;
+      off.cycles_per_round = 40;
+      off.engine.cache.enabled = false;
+      OnlineConfig on = off;
+      on.engine.cache.enabled = true;
+
+      const OnlineResult a = run_online(lat, h, off);
+      const OnlineResult b = run_online(lat, h, on);
+      EXPECT_EQ(a.overflow, b.overflow) << "d=" << d << " p=" << p;
+      EXPECT_EQ(a.drained, b.drained) << "d=" << d << " p=" << p;
+      EXPECT_EQ(a.correction, b.correction) << "d=" << d << " p=" << p;
+      EXPECT_EQ(a.total_cycles, b.total_cycles) << "d=" << d << " p=" << p;
+      EXPECT_EQ(a.layer_cycles, b.layer_cycles) << "d=" << d << " p=" << p;
+      expect_same_matches(a.matches, b.matches);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stream level: CSV byte-equality, shards, threads, fast-path counters.
+
+StreamConfig stream_config() {
+  StreamConfig config;
+  config.lanes = 8;
+  config.distance = 5;
+  config.p = 0.02;
+  config.rounds = 16;
+  config.seed = 11;
+  config.cycles_per_round = 300;
+  return config;
+}
+
+std::string stream_csv(const SyndromeTrace& trace, const StreamConfig& config,
+                       const char* name) {
+  const auto outcome = run_stream(trace, config);
+  const std::string path = temp_path(name);
+  EXPECT_TRUE(outcome.telemetry.write_csv(path));
+  const std::string text = read_all(path);
+  std::remove(path.c_str());
+  return text;
+}
+
+TEST(DecodeCacheStream, OnOffByteIdenticalTelemetry) {
+  StreamConfig config = stream_config();
+  const auto trace = record_trace(config);
+  config.cache = "off";
+  const std::string off = stream_csv(trace, config, "cache_off.csv");
+  config.cache = "on";
+  const std::string on = stream_csv(trace, config, "cache_on.csv");
+  EXPECT_EQ(off, on) << "cache must never change a decode outcome";
+}
+
+TEST(DecodeCacheStream, SingleEntrySharedShardStaysExact) {
+  // entries=1 with one shard shared by all lanes: constant eviction
+  // pressure and maximal cross-lane interleaving — outcomes still exact.
+  StreamConfig config = stream_config();
+  const auto trace = record_trace(config);
+  config.cache = "off";
+  const std::string off = stream_csv(trace, config, "cache1_off.csv");
+  config.cache = "clock:entries=1,shards=1";
+  const std::string tiny = stream_csv(trace, config, "cache1_on.csv");
+  EXPECT_EQ(off, tiny);
+}
+
+TEST(DecodeCacheStream, ThreadCountNeverChangesCacheCsv) {
+  StreamConfig config = stream_config();
+  config.lanes = 12;
+  config.cache = "clock:entries=64,shards=3";
+  const auto trace = record_trace(config);
+
+  const auto run_with = [&](int threads, const char* name, const char* cname) {
+    StreamConfig c = config;
+    c.threads = threads;
+    const auto outcome = run_stream(trace, c);
+    const std::string path = temp_path(name);
+    const std::string cache_path = temp_path(cname);
+    EXPECT_TRUE(outcome.telemetry.write_csv(path));
+    EXPECT_TRUE(outcome.telemetry.write_cache_csv(cache_path));
+    const auto result =
+        std::make_pair(read_all(path), read_all(cache_path));
+    std::remove(path.c_str());
+    std::remove(cache_path.c_str());
+    return result;
+  };
+
+  const auto serial = run_with(1, "ct1.csv", "ct1_cache.csv");
+  const auto parallel = run_with(4, "ct4.csv", "ct4_cache.csv");
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second)
+      << "shard-sequential execution must make hit/miss counters "
+         "independent of --threads";
+}
+
+TEST(DecodeCacheStream, CleanStreamRidesTheZeroFastPath) {
+  StreamConfig config = stream_config();
+  config.p = 0.0;
+  const auto outcome = run_stream(config);
+  const DecodeCacheStats stats = outcome.telemetry.aggregate().cache;
+  EXPECT_GT(stats.zero_rounds, 0u);
+  EXPECT_GT(stats.zero_pushes, 0u);
+  // The all-clear path never probes the cache.
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(outcome.failed_lanes, 0);
+}
+
+TEST(DecodeCacheStream, ZeroCountersAdvanceEvenWithCacheOff) {
+  StreamConfig config = stream_config();
+  config.p = 0.0;
+  config.cache = "off";
+  const auto outcome = run_stream(config);
+  EXPECT_EQ(outcome.telemetry.cache, "off");
+  const DecodeCacheStats stats = outcome.telemetry.aggregate().cache;
+  EXPECT_GT(stats.zero_rounds, 0u);
+  EXPECT_GT(stats.zero_pushes, 0u);
+  EXPECT_EQ(stats.installs, 0u);
+}
+
+TEST(DecodeCacheStream, TelemetryEchoesTheResolvedSpec) {
+  StreamConfig config = stream_config();
+  config.cache = "on";
+  // An eager engine (no thv aging gate) decodes single-layer windows,
+  // which repeat across lanes — so this small run demonstrably hits.
+  config.engine = "qecool:thv=-1";
+  const auto outcome = run_stream(config);
+  // 8 lanes -> one shard under the one-per-256-lanes default.
+  EXPECT_EQ(outcome.telemetry.cache,
+            "clock:entries=4096,shards=1,max_defects=6");
+  EXPECT_GT(outcome.telemetry.aggregate().cache.misses, 0u);
+  EXPECT_GT(outcome.telemetry.aggregate().cache.hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Spec grammar and error messages.
+
+TEST(DecodeCacheSpec, ParsesAndEchoes) {
+  const DecodeCacheConfig off = parse_decode_cache_spec("off");
+  EXPECT_FALSE(off.enabled);
+  EXPECT_EQ(decode_cache_spec_string(off), "off");
+
+  const DecodeCacheConfig on = parse_decode_cache_spec("on");
+  EXPECT_TRUE(on.enabled);
+  EXPECT_EQ(on.entries, 4096);
+
+  const DecodeCacheConfig tuned =
+      parse_decode_cache_spec("clock:entries=128,shards=2,max_defects=9");
+  EXPECT_TRUE(tuned.enabled);
+  EXPECT_EQ(tuned.entries, 128);
+  EXPECT_EQ(tuned.shards, 2);
+  EXPECT_EQ(tuned.max_defects, 9);
+  EXPECT_EQ(decode_cache_spec_string(tuned),
+            "clock:entries=128,shards=2,max_defects=9");
+
+  // max_defects=0 turns the sparsity gate off: every window is probed.
+  EXPECT_EQ(parse_decode_cache_spec("on:max_defects=0").max_defects, 0);
+}
+
+TEST(DecodeCacheSpec, ShardCountDefaultsOnePer256Lanes) {
+  DecodeCacheConfig config;
+  EXPECT_EQ(decode_cache_shard_count(config, 8), 1);
+  EXPECT_EQ(decode_cache_shard_count(config, 256), 1);
+  EXPECT_EQ(decode_cache_shard_count(config, 257), 2);
+  EXPECT_EQ(decode_cache_shard_count(config, 4096), 16);
+  EXPECT_EQ(decode_cache_shard_count(config, 100000), 16);  // capped
+  config.shards = 5;
+  EXPECT_EQ(decode_cache_shard_count(config, 4096), 5);
+  EXPECT_EQ(decode_cache_shard_count(config, 3), 3);  // never > lanes
+}
+
+TEST(DecodeCacheSpec, ErrorsNameTheOptionFamily) {
+  EXPECT_THROW(parse_decode_cache_spec("lru"), std::invalid_argument);
+  try {
+    parse_decode_cache_spec("clock:banana=1");
+    FAIL() << "unknown cache option must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("entries, shards"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    online_engine_config("qecool:cache_banana=1");
+    FAIL() << "unknown engine option must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cache options"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DecodeCacheSpec, EngineSpecCarriesCacheOptions) {
+  const QecoolConfig config =
+      online_engine_config("qecool:cache=clock,cache_entries=32,cache_shards=2");
+  EXPECT_TRUE(config.cache.enabled);
+  EXPECT_EQ(config.cache.entries, 32);
+  EXPECT_EQ(config.cache.shards, 2);
+  const QecoolConfig off = online_engine_config("qecool:cache=off");
+  EXPECT_FALSE(off.cache.enabled);
+}
+
+}  // namespace
+}  // namespace qec

@@ -30,15 +30,57 @@ CELL_KEYS = (
     "lane_rounds_per_sec",
     "failed_lanes",
 )
+# Per-cell decode-cache block (lane_scaling --cache runs; DESIGN.md s13).
+# Older records predate the cache datapath and carry no such block, so it
+# is only required when the caller asks for it (after_cache / cache_sweep
+# records in the pinned trajectory).
+CACHE_KEYS = (
+    "spec",
+    "hits",
+    "misses",
+    "hit_rate",
+    "installs",
+    "evictions",
+    "zero_rounds",
+    "zero_pushes",
+    "bypasses",
+)
 
 
-def check_record(record, label):
+def check_cache_block(cache, label):
+    errors = []
+    if not isinstance(cache, dict):
+        return [f"{label} is not an object"]
+    for key in CACHE_KEYS:
+        if key not in cache:
+            errors.append(f"{label} missing key '{key}'")
+    if "spec" in cache and not isinstance(cache["spec"], str):
+        errors.append(f"{label}.spec is not a string")
+    for key in CACHE_KEYS[1:]:
+        value = cache.get(key)
+        if value is not None and not isinstance(value, (int, float)):
+            errors.append(f"{label}.{key} is not a number")
+    return errors
+
+
+def check_record(record, label, require_cache=False):
     errors = []
     for key in RECORD_KEYS:
         if key not in record:
             errors.append(f"{label}: missing key '{key}'")
-    if not isinstance(record.get("config"), dict):
+    config = record.get("config")
+    if not isinstance(config, dict):
         errors.append(f"{label}: 'config' is not an object")
+        config = {}
+    # "p" was a scalar before the --p sweep existed; both shapes stay valid.
+    p = config.get("p")
+    if p is not None and not isinstance(p, (int, float)):
+        if not (isinstance(p, list) and p and
+                all(isinstance(v, (int, float)) for v in p)):
+            errors.append(f"{label}: config.p is neither a number nor a "
+                          f"non-empty number array")
+    if "cache" in config and not isinstance(config["cache"], str):
+        errors.append(f"{label}: config.cache is not a string")
     cells = record.get("cells")
     if not isinstance(cells, list) or not cells:
         errors.append(f"{label}: 'cells' is not a non-empty array")
@@ -54,6 +96,12 @@ def check_record(record, label):
             value = cell.get(key)
             if value is not None and not isinstance(value, (int, float)):
                 errors.append(f"{label}: cells[{i}].{key} is not a number")
+        if "cache" in cell:
+            errors.extend(
+                check_cache_block(cell["cache"], f"{label}: cells[{i}].cache"))
+        elif require_cache:
+            errors.append(f"{label}: cells[{i}] missing key 'cache' "
+                          f"(required for cache-datapath records)")
     return errors
 
 
@@ -74,7 +122,14 @@ def check_file(path):
         return [f"{path}: neither a run record nor a pinned trajectory "
                 f"(no embedded object with 'cells')"]
     for key in records:
-        errors.extend(check_record(doc[key], f"{path}:{key}"))
+        # Records born after the decode cache landed must carry the
+        # per-cell cache block; older pinned records stay exempt.
+        cache_era = key == "after_cache" or key.startswith("cache_sweep")
+        errors.extend(
+            check_record(doc[key], f"{path}:{key}", require_cache=cache_era))
+    if "after_cache" in doc and "cache_speedup" not in doc:
+        errors.append(f"{path}: has 'after_cache' but no 'cache_speedup' "
+                      f"summary")
     return errors
 
 
