@@ -1,0 +1,37 @@
+#include "fuzz/coverage.hpp"
+
+#include "common/rng.hpp"
+
+namespace qec::fuzz {
+
+std::size_t feature_cell(Feature kind, std::uint32_t value) {
+  std::uint64_t state = (static_cast<std::uint64_t>(kind) << 32) | value;
+  return static_cast<std::size_t>(splitmix64(state)) & (kCoverageCells - 1);
+}
+
+void FeatureSet::merge(const FeatureSet& other) {
+  for (std::size_t i = 0; i < kCoverageCells; ++i) {
+    bits_[i] |= other.bits_[i];
+  }
+}
+
+int FeatureSet::count() const {
+  int n = 0;
+  for (const std::uint8_t b : bits_) n += b;
+  return n;
+}
+
+int CoverageMap::merge(const FeatureSet& run) {
+  int fresh = 0;
+  const auto& bits = run.bits();
+  for (std::size_t i = 0; i < kCoverageCells; ++i) {
+    if (bits[i] && !bits_[i]) {
+      bits_[i] = 1;
+      ++fresh;
+    }
+  }
+  covered_ += fresh;
+  return fresh;
+}
+
+}  // namespace qec::fuzz

@@ -1,0 +1,64 @@
+// Failure-trace minimization: delta debugging specialised to the QTRC
+// shape (docs/fuzzing.md section 5). Given a trace for which `predicate`
+// holds (a divergence, an invariant violation, a crash reproduced under a
+// harness), the minimizer greedily shrinks it while the predicate keeps
+// holding, in structure-first order:
+//
+//   1. drop lanes            (whole logical qubits, largest units first)
+//   2. truncate rounds       (halving probe, then linear from the tail)
+//   3. clear whole rounds    (zero one round across all remaining lanes)
+//   4. clear layer words     (zero one 64-check word of one layer)
+//   5. clear single bits     (the 1-minimal polish pass)
+//   6. zero final errors     (engine oracles never read them)
+//
+// and repeats to a fixpoint (bounded by max_passes). Entirely RNG-free:
+// the result is a pure function of (input trace, predicate), so a fixed
+// seed always shrinks to the same reproducer. Every intermediate candidate
+// is a structurally valid trace — headers are rebuilt through the
+// SyndromeTrace constructor, so the saved reproducer always loads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stream/trace.hpp"
+
+namespace qec::fuzz {
+
+/// Returns true when the candidate still exhibits the failure being
+/// minimized. Must be deterministic.
+using FailurePredicate = std::function<bool(const SyndromeTrace&)>;
+
+struct MinimizeOptions {
+  /// Outer fixpoint iterations: each pass runs all shrink stages once;
+  /// stop early when a full pass removes nothing.
+  int max_passes = 4;
+  /// Skip the per-bit polish pass (quadratic-ish; the word pass already
+  /// gets within 64x of 1-minimal).
+  bool clear_bits = true;
+};
+
+struct MinimizeResult {
+  SyndromeTrace trace;
+  /// How many times the predicate ran — the minimization cost.
+  int predicate_calls = 0;
+  /// Outer passes executed before the fixpoint.
+  int passes = 0;
+};
+
+/// A copy of `trace` containing only the lanes in `keep` (in the given
+/// order). `keep` must be non-empty with valid, distinct lane indices.
+SyndromeTrace keep_lanes(const SyndromeTrace& trace,
+                         const std::vector<int>& keep);
+
+/// A copy of `trace` truncated to its first `rounds` rounds (>= 1).
+SyndromeTrace truncate_rounds(const SyndromeTrace& trace, int rounds);
+
+/// Shrinks `failing` (for which predicate(failing) must be true) to a
+/// smaller trace for which the predicate still holds.
+MinimizeResult minimize_trace(const SyndromeTrace& failing,
+                              const FailurePredicate& predicate,
+                              const MinimizeOptions& options = {});
+
+}  // namespace qec::fuzz

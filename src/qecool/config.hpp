@@ -85,6 +85,22 @@ struct QecoolConfig {
   /// record_trace path bypasses it because MatchEvent cycle stamps depend
   /// on absolute engine time, which replay does not reproduce).
   DecodeCacheConfig cache;
+
+  /// Test-only fault injection for the fuzz harness's mutation-testing
+  /// self-check (src/fuzz, docs/fuzzing.md): a deliberately planted engine
+  /// bug that the differential oracles / invariant probe must detect, or
+  /// the harness itself is broken. kFaultNone in every production path;
+  /// never exposed through spec strings.
+  int test_fault = kFaultNone;
+
+  static constexpr int kFaultNone = 0;
+  /// Cache replay drops the correction XOR delta — a cache-coherence bug
+  /// only the cache-off vs cache-on differential oracle can see, and only
+  /// on a window that both recurs (a hit) and carries a correction.
+  static constexpr int kFaultCacheReplay = 1;
+  /// run() under-reports consumed cycles by one whenever it did work — an
+  /// accounting bug the invariant probe's conservation check catches.
+  static constexpr int kFaultCycleReport = 2;
 };
 
 }  // namespace qec

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "qecool/probe.hpp"
 
 namespace qec {
 namespace {
@@ -79,25 +80,33 @@ QecoolEngine::QecoolEngine(const PlanarLattice& lattice,
 bool QecoolEngine::push_layer(const PackedBits& difference_layer) {
   assert(difference_layer.size() ==
          static_cast<std::size_t>(rows_ * cols_));
-  if (m_ == reg_capacity_) return false;  // buffer overflow
+  if (m_ == reg_capacity_) {  // buffer overflow
+    if (probe_) probe_->on_push(false, m_, reg_capacity_);
+    return false;
+  }
   if (difference_layer.none()) {
     // All-zero layer (the overwhelmingly common case near threshold, and
     // every drain round): slots at or past m_ are already all-zero, so
     // claiming the slot is the whole push.
     ++cache_stats_.zero_pushes;
     ++m_;
-    return true;
+  } else {
+    reg_[static_cast<std::size_t>(m_)].copy_from(difference_layer);
+    ++m_;
   }
-  reg_[static_cast<std::size_t>(m_)].copy_from(difference_layer);
-  ++m_;
+  if (probe_) probe_->on_push(true, m_, reg_capacity_);
   return true;
 }
 
 bool QecoolEngine::push_layer(const BitVec& difference_layer) {
   assert(static_cast<int>(difference_layer.size()) == rows_ * cols_);
-  if (m_ == reg_capacity_) return false;  // buffer overflow
+  if (m_ == reg_capacity_) {  // buffer overflow
+    if (probe_) probe_->on_push(false, m_, reg_capacity_);
+    return false;
+  }
   reg_[static_cast<std::size_t>(m_)].assign_bits(difference_layer);
   ++m_;
+  if (probe_) probe_->on_push(true, m_, reg_capacity_);
   return true;
 }
 
@@ -318,6 +327,7 @@ std::uint64_t QecoolEngine::process_unit(int row, int col) {
 
 void QecoolEngine::pop_layer() {
   assert(m_ > 0);
+  if (probe_) probe_->on_pop(m_);
   // The base layer is popped only when clean (SHIFTREG): rotating its
   // all-zero PackedBits to the back both shifts every deeper layer down
   // one slot and re-establishes the "slots at or past m_ are zero"
@@ -337,6 +347,20 @@ void QecoolEngine::pop_layer() {
 }
 
 std::uint64_t QecoolEngine::run(std::uint64_t budget) {
+  std::uint64_t consumed = run_dispatch(budget);
+  // Planted accounting bug for the fuzz self-check (docs/fuzzing.md): the
+  // cycle counter advanced by `consumed` but the caller is told one less.
+  // The invariant probe's conservation check must flag the discrepancy.
+  if (config_.test_fault == QecoolConfig::kFaultCycleReport && consumed > 0) {
+    --consumed;
+  }
+  if (probe_) {
+    probe_->on_run(budget, consumed, cycles_, m_, b_, c_, row_);
+  }
+  return consumed;
+}
+
+std::uint64_t QecoolEngine::run_dispatch(std::uint64_t budget) {
   if (budget == 0 || m_ == 0) return 0;
 
   // One pass over the resident layers serves both the all-clear test and
@@ -470,8 +494,13 @@ std::uint64_t QecoolEngine::replay(const DecodeOutcome& outcome) {
   for (const auto& [tag, word] : outcome.reg_words) {
     reg_[tag / words].set_word(tag % words, word);
   }
-  for (const auto& [w, mask] : outcome.corr_words) {
-    correction_.xor_word(w, mask);
+  // Planted cache-coherence bug for the fuzz self-check (docs/fuzzing.md):
+  // replay silently drops the correction delta, so a hit on a window that
+  // carries a correction diverges from the cache-off arm.
+  if (config_.test_fault != QecoolConfig::kFaultCacheReplay) {
+    for (const auto& [w, mask] : outcome.corr_words) {
+      correction_.xor_word(w, mask);
+    }
   }
   for (const std::uint32_t record : outcome.match_records) {
     const std::uint32_t kind = record >> 30;

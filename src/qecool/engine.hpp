@@ -49,6 +49,8 @@
 
 namespace qec {
 
+class EngineProbe;  // qecool/probe.hpp — invariant hook for the fuzz build
+
 namespace obs {
 class Track;  // obs/trace.hpp — the engine never includes the obs layer
 }
@@ -126,6 +128,15 @@ class QecoolEngine {
   /// tracing costs the pop path one branch.
   void set_obs_track(obs::Track* track) { obs_track_ = track; }
 
+  /// Invariant/coverage hook (qecool/probe.hpp): when set, every push,
+  /// pop, and run() fires the probe. Null disables; a disabled probe
+  /// costs each site one branch, following the obs hook precedent.
+  void set_probe(EngineProbe* probe) { probe_ = probe; }
+
+  /// The resolved maximum hop limit (config nlimit, or the automatic
+  /// 2(d-1) + reg_depth + 1 bound) — the invariant probe's range check.
+  int hop_limit_bound() const { return nlimit_; }
+
   /// Attaches a decode-window memoization cache (non-owning; see
   /// decode_cache.hpp and DESIGN.md section 13). run() then replays
   /// cached outcomes on window hits — bit-identical to the uncached scan
@@ -173,6 +184,9 @@ class QecoolEngine {
   /// True if any base layer is eligible for decoding under thv.
   bool has_eligible_base() const;
 
+  /// run() body (zero fast path, sparsity gate, cache probe, scan); the
+  /// public run() wraps it with the probe hook and fault injection.
+  std::uint64_t run_dispatch(std::uint64_t budget);
   /// The token/match scan loop (the pre-cache run() body).
   std::uint64_t run_scan(std::uint64_t budget);
   /// Analytic emulation of run_scan when every resident layer is clear:
@@ -214,6 +228,7 @@ class QecoolEngine {
   int row_ = 0;  // next row to scan in the current pass
 
   obs::Track* obs_track_ = nullptr;  ///< kPop sink; null = tracing off
+  EngineProbe* probe_ = nullptr;     ///< invariant hook; null = disabled
   std::uint64_t cycles_ = 0;
   std::uint64_t last_pop_cycles_ = 0;
   std::vector<std::uint64_t> layer_cycles_;

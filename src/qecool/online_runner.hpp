@@ -144,6 +144,10 @@ class OnlineStepper {
   /// sequentially. Null disables memoization.
   void set_decode_cache(DecodeCache* cache) { engine_.set_decode_cache(cache); }
 
+  /// Invariant/coverage hook (qecool/probe.hpp): forwards the probe to the
+  /// engine. The fuzz oracle harness attaches one per lane. Null disables.
+  void set_probe(EngineProbe* probe) { engine_.set_probe(probe); }
+
   /// True when the engine consumed everything: every Reg bit clear and no
   /// stored layers left to pop.
   bool drained() const {

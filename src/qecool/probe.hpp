@@ -1,0 +1,61 @@
+// EngineProbe: a lightweight observation hook on the QECOOL engine's three
+// state transitions — layer push, base-layer pop, and one run(budget) call.
+// The fuzzing harness (src/fuzz/oracle.hpp) attaches an invariant-checking
+// probe here to assert the engine's structural contracts on every
+// adversarial input:
+//
+//   - Reg occupancy never exceeds reg_depth, and a push is rejected only
+//     when the queues are exactly full;
+//   - no pop without a prior push (pops never outnumber pushes, and a pop
+//     always finds at least one stored layer);
+//   - cycle accounting conserves grants: run(budget) never consumes more
+//     than the budget, and the engine's total cycle counter advances by
+//     exactly what run() reports;
+//   - the resumable controller position stays in range after every run.
+//
+// The hook follows the obs::Track precedent: the engine holds a non-owning
+// pointer, every call site is one branch when the probe is null, and the
+// production hot path never pays more than that branch. Probes are allowed
+// to be stateful and are not required to be thread-safe — the owner attaches
+// one probe per engine, matching the engine's own single-threaded contract.
+#pragma once
+
+#include <cstdint>
+
+namespace qec {
+
+class EngineProbe {
+ public:
+  virtual ~EngineProbe() = default;
+
+  /// One push_layer() attempt. `accepted` is false on the overflow drop;
+  /// `stored_layers` is the occupancy after the attempt (unchanged when
+  /// rejected); `reg_depth` is the configured capacity.
+  virtual void on_push(bool accepted, int stored_layers, int reg_depth) {
+    (void)accepted;
+    (void)stored_layers;
+    (void)reg_depth;
+  }
+
+  /// One base-layer pop (SHIFTREG). `stored_layers` is the occupancy
+  /// *before* the pop — a pop with zero stored layers is a bug.
+  virtual void on_pop(int stored_layers) { (void)stored_layers; }
+
+  /// One run(budget) call returning `consumed`. `total_cycles` is the
+  /// engine's cycle counter after the run; the controller position
+  /// (stored_layers, base_depth, hop_limit, row) is the post-run resumable
+  /// state. budget == QecoolEngine::kUnlimited means unconstrained.
+  virtual void on_run(std::uint64_t budget, std::uint64_t consumed,
+                      std::uint64_t total_cycles, int stored_layers,
+                      int base_depth, int hop_limit, int row) {
+    (void)budget;
+    (void)consumed;
+    (void)total_cycles;
+    (void)stored_layers;
+    (void)base_depth;
+    (void)hop_limit;
+    (void)row;
+  }
+};
+
+}  // namespace qec

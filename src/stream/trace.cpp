@@ -170,6 +170,27 @@ void SyndromeTrace::save(const std::string& path) const {
   if (!out) bad_trace("short write to '" + path + "'");
 }
 
+std::size_t SyndromeTrace::payload_offset() { return kHeaderBytes; }
+
+std::size_t SyndromeTrace::payload_size(const std::vector<std::uint8_t>& blob) {
+  if (blob.size() < kHeaderBytes + 8) bad_trace("blob too short to rewrite");
+  if (get_le<std::uint32_t>(blob.data()) != TraceHeader::kMagic) {
+    bad_trace("bad magic (not a trace blob)");
+  }
+  if (get_le<std::uint32_t>(blob.data() + 4) != TraceHeader::kVersion) {
+    bad_trace("unsupported version in blob");
+  }
+  return blob.size() - kHeaderBytes - 8;
+}
+
+void SyndromeTrace::rewrite_payload(std::vector<std::uint8_t>& blob) {
+  const std::size_t size = payload_size(blob);  // validates magic/version
+  const std::uint64_t sum = fnv1a64(blob.data() + kHeaderBytes, size);
+  for (std::size_t i = 0; i < 8; ++i) {
+    blob[kHeaderBytes + size + i] = static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+}
+
 SyndromeTrace SyndromeTrace::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) bad_trace("cannot open '" + path + "'");

@@ -98,6 +98,28 @@ class SyndromeTrace {
   /// corruption, truncation, or version/dimension mismatch.
   static SyndromeTrace load(const std::string& path);
 
+  /// Byte offset of the payload within a serialized trace blob (the fixed
+  /// header size). Exposed for byte-level mutation tooling.
+  static std::size_t payload_offset();
+
+  /// Payload byte count of a serialized blob (size minus header and
+  /// checksum footer). Throws TraceError when the blob is too short to be
+  /// a v1 trace or the magic/version do not match — payload arithmetic on
+  /// a non-trace blob is meaningless.
+  static std::size_t payload_size(const std::vector<std::uint8_t>& blob);
+
+  /// Re-derives the FNV-1a footer checksum of a serialized trace blob
+  /// after in-place payload mutation, so the loader accepts the mutated
+  /// bytes. The single entry point every byte-level fuzz mutation goes
+  /// through: header and provenance bytes are left untouched, only the
+  /// 8 footer bytes are rewritten. Throws TraceError on a blob too short
+  /// to be a v1 trace or with a foreign magic/version (same checks as
+  /// payload_size). Note this validates nothing else — a mutated header
+  /// or a resized payload still gets a consistent checksum and must stand
+  /// or fall on load()'s own validation, which is exactly what loader
+  /// fuzzing wants.
+  static void rewrite_payload(std::vector<std::uint8_t>& blob);
+
   bool operator==(const SyndromeTrace& other) const;
 
  private:

@@ -38,6 +38,24 @@
 
 namespace qec {
 
+/// Portable SWAR popcount (Hacker's Delight 5-1). Always available under
+/// this name regardless of the configured backend: it is the reference
+/// implementation the fuzz bit-ops oracle (src/fuzz/oracle.cpp) compares
+/// the selected backend against on every trace word.
+inline int qec_popcount64_swar(std::uint64_t x) {
+  x = x - ((x >> 1) & 0x5555555555555555ULL);
+  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  return static_cast<int>((x * 0x0101010101010101ULL) >> 56);
+}
+
+/// Portable SWAR count-trailing-zeros of a nonzero word: isolate the lowest
+/// set bit and popcount the mask below it. Reference twin of
+/// qec_countr_zero64 for the fuzz bit-ops oracle.
+inline int qec_countr_zero64_swar(std::uint64_t x) {
+  return qec_popcount64_swar((x & (~x + 1)) - 1);
+}
+
 /// Population count of one 64-bit word.
 inline int qec_popcount64(std::uint64_t x) {
 #if defined(QEC_BITOPS_STD)
@@ -45,11 +63,7 @@ inline int qec_popcount64(std::uint64_t x) {
 #elif defined(QEC_BITOPS_BUILTIN)
   return __builtin_popcountll(x);
 #else
-  // Portable SWAR popcount (Hacker's Delight 5-1).
-  x = x - ((x >> 1) & 0x5555555555555555ULL);
-  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
-  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
-  return static_cast<int>((x * 0x0101010101010101ULL) >> 56);
+  return qec_popcount64_swar(x);
 #endif
 }
 
@@ -61,8 +75,7 @@ inline int qec_countr_zero64(std::uint64_t x) {
 #elif defined(QEC_BITOPS_BUILTIN)
   return __builtin_ctzll(x);
 #else
-  // Isolate the lowest set bit and popcount the mask below it.
-  return qec_popcount64((x & (~x + 1)) - 1);
+  return qec_countr_zero64_swar(x);
 #endif
 }
 

@@ -1,0 +1,188 @@
+// Tests for the delta-debugging trace minimizer and the fuzz mutation
+// operators (src/fuzz/minimize.hpp, src/fuzz/mutate.hpp): seeded synthetic
+// failures must shrink to a known minimal trace, deterministically, and
+// every intermediate or final artifact must stay loader-valid.
+#include "fuzz/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "fuzz/mutate.hpp"
+#include "stream/service.hpp"
+#include "stream/trace.hpp"
+
+namespace qec::fuzz {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+SyndromeTrace noisy_trace(int lanes, int rounds, std::uint64_t seed) {
+  StreamConfig config;
+  config.lanes = lanes;
+  config.distance = 5;
+  config.p = 0.02;
+  config.rounds = rounds;  // recorded trace carries rounds + 1 layers
+  config.seed = seed;
+  return record_trace(config);
+}
+
+int defect_count(const SyndromeTrace& trace) {
+  int count = 0;
+  for (int lane = 0; lane < trace.lanes(); ++lane) {
+    for (int round = 0; round < trace.rounds(); ++round) {
+      count += trace.layer(lane, round).popcount();
+    }
+  }
+  return count;
+}
+
+TEST(FuzzMinimize, KeepLanesExtractsSelectedLanes) {
+  const auto trace = noisy_trace(4, 6, 11);
+  const auto kept = keep_lanes(trace, {3, 1});
+  ASSERT_EQ(kept.lanes(), 2);
+  EXPECT_EQ(kept.rounds(), trace.rounds());
+  for (int round = 0; round < trace.rounds(); ++round) {
+    EXPECT_EQ(kept.layer(0, round), trace.layer(3, round));
+    EXPECT_EQ(kept.layer(1, round), trace.layer(1, round));
+  }
+  EXPECT_EQ(kept.final_error(0), trace.final_error(3));
+  EXPECT_EQ(kept.final_error(1), trace.final_error(1));
+}
+
+TEST(FuzzMinimize, TruncateRoundsKeepsPrefix) {
+  const auto trace = noisy_trace(2, 6, 12);
+  const auto cut = truncate_rounds(trace, 3);
+  ASSERT_EQ(cut.rounds(), 3);
+  EXPECT_EQ(cut.lanes(), trace.lanes());
+  for (int lane = 0; lane < trace.lanes(); ++lane) {
+    for (int round = 0; round < 3; ++round) {
+      EXPECT_EQ(cut.layer(lane, round), trace.layer(lane, round));
+    }
+  }
+}
+
+TEST(FuzzMinimize, SyntheticPredicateShrinksToKnownMinimum) {
+  // Predicate: some lane carries a defect in a round >= k. The input is a
+  // noise-free trace with three planted defects, only one of which (lane
+  // 1, round k+2) satisfies the predicate — so the unique 1-minimal
+  // witness is one lane, k+3 rounds, that single defect, and the
+  // minimizer must land exactly there.
+  const int k = 6;
+  StreamConfig zero;
+  zero.lanes = 3;
+  zero.distance = 5;
+  zero.p = 0.0;
+  zero.rounds = 10;
+  zero.seed = 21;
+  auto failing = record_trace(zero);
+  const auto plant = [&failing](int lane, int round, std::size_t check) {
+    PackedBits layer = failing.layer(lane, round);
+    layer.set(check);
+    failing.set_layer(lane, round, std::move(layer));
+  };
+  plant(0, 2, 3);       // decoy before the window
+  plant(1, k + 2, 7);   // the witness
+  plant(2, 0, 11);      // decoy in another lane
+  const FailurePredicate predicate = [&](const SyndromeTrace& t) {
+    for (int lane = 0; lane < t.lanes(); ++lane) {
+      for (int round = k; round < t.rounds(); ++round) {
+        if (t.layer(lane, round).any()) return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(predicate(failing));
+
+  const MinimizeResult result = minimize_trace(failing, predicate);
+  EXPECT_TRUE(predicate(result.trace));
+  EXPECT_EQ(result.trace.lanes(), 1);
+  EXPECT_EQ(result.trace.rounds(), k + 3);
+  EXPECT_EQ(defect_count(result.trace), 1);
+  EXPECT_TRUE(result.trace.layer(0, k + 2).test(7));
+  EXPECT_GT(result.predicate_calls, 0);
+
+  // Ground truth is gone too: the final-error zeroing pass runs last.
+  for (int lane = 0; lane < result.trace.lanes(); ++lane) {
+    for (const auto bit : result.trace.final_error(lane)) {
+      EXPECT_EQ(bit, 0);
+    }
+  }
+}
+
+TEST(FuzzMinimize, DeterministicForFixedSeed) {
+  // The minimizer is RNG-free and the mutator is seeded, so the whole
+  // input -> shrink pipeline is a pure function of the seed.
+  const auto run_once = [] {
+    auto trace = noisy_trace(2, 8, 31);
+    TraceMutator mutator(/*seed=*/77);
+    for (int i = 0; i < 10; ++i) mutator.mutate(trace);
+    const FailurePredicate predicate = [](const SyndromeTrace& t) {
+      for (int lane = 0; lane < t.lanes(); ++lane) {
+        for (int round = 4; round < t.rounds(); ++round) {
+          if (t.layer(lane, round).any()) return true;
+        }
+      }
+      return false;
+    };
+    if (!predicate(trace)) return trace;  // mutation erased every defect
+    return minimize_trace(trace, predicate).trace;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FuzzMinimize, MinimizedTraceStaysLoaderValid) {
+  auto failing = noisy_trace(2, 8, 41);
+  const FailurePredicate predicate = [](const SyndromeTrace& t) {
+    return t.layer(0, 0).size() > 0;  // always true: shrinks maximally
+  };
+  const MinimizeResult result = minimize_trace(failing, predicate);
+  // Maximal shrink: one lane, one round, no defects — still a legal trace.
+  EXPECT_EQ(result.trace.lanes(), 1);
+  EXPECT_EQ(result.trace.rounds(), 1);
+  EXPECT_EQ(defect_count(result.trace), 0);
+
+  const std::string path = temp_path("minimized.qtrc");
+  result.trace.save(path);
+  const auto reloaded = SyndromeTrace::load(path);
+  EXPECT_TRUE(reloaded == result.trace);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzMutate, MutationsPreserveLoaderValidity) {
+  // Every mutation operator edits layers through set_layer, so any mutant
+  // must serialize to a file the hardened loader accepts verbatim.
+  auto trace = noisy_trace(2, 6, 51);
+  TraceMutator mutator(/*seed=*/3);
+  const std::string path = temp_path("mutant.qtrc");
+  for (int i = 0; i < 40; ++i) {
+    mutator.mutate(trace);
+  }
+  const auto donor = noisy_trace(2, 6, 52);
+  mutator.splice(trace, donor);
+  trace.save(path);
+  const auto reloaded = SyndromeTrace::load(path);
+  EXPECT_TRUE(reloaded == trace);
+  // Geometry never drifts: mutations touch defect patterns only.
+  EXPECT_EQ(trace.header().distance, 5u);
+  EXPECT_EQ(trace.lanes(), 2);
+  EXPECT_EQ(trace.rounds(), 7);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzMutate, SpliceRejectsGeometryMismatch) {
+  auto trace = noisy_trace(2, 6, 61);
+  const auto before = trace;
+  const auto donor = noisy_trace(3, 6, 62);  // different lane count
+  TraceMutator mutator(/*seed=*/5);
+  mutator.splice(trace, donor);
+  EXPECT_TRUE(trace == before) << "mismatched splice must be a no-op";
+}
+
+}  // namespace
+}  // namespace qec::fuzz

@@ -143,7 +143,9 @@ TEST(StreamTrace, InconsistentDimensionsThrow) {
 /// Serializes a hand-crafted v1 trace file: the given header fields, a
 /// payload of `payload_bytes` zero bytes, and a *valid* FNV-1a checksum
 /// over that payload — so only the header/length validation can reject
-/// it, never the checksum.
+/// it, never the checksum. The checksum comes from the production
+/// SyndromeTrace::rewrite_payload (the fuzz-mutation entry point), which
+/// by contract signs whatever payload is present without validating it.
 std::vector<char> craft_trace(std::uint32_t distance, std::uint32_t lanes,
                               std::uint32_t rounds, std::uint32_t checks,
                               std::uint32_t data_qubits,
@@ -169,9 +171,8 @@ std::vector<char> craft_trace(std::uint32_t distance, std::uint32_t lanes,
   put64(0);  // seed
   put64(0);  // p_data (0.0 bits)
   put64(0);  // p_meas
-  const std::vector<std::uint8_t> payload(payload_bytes, 0);
-  blob.insert(blob.end(), payload.begin(), payload.end());
-  put64(fnv1a64(payload.data(), payload.size()));
+  blob.insert(blob.end(), payload_bytes + 8, 0);  // payload + checksum slot
+  SyndromeTrace::rewrite_payload(blob);
   return std::vector<char>(blob.begin(), blob.end());
 }
 
@@ -265,9 +266,8 @@ TEST(StreamTrace, WrappingSizeHeaderThrowsInsteadOfAllocating) {
   put64(0);   // seed
   put64(0);   // p_data (0.0 bits)
   put64(0);   // p_meas
-  const std::vector<std::uint8_t> payload(wrapped_payload, 0);
-  blob.insert(blob.end(), payload.begin(), payload.end());
-  put64(fnv1a64(payload.data(), payload.size()));
+  blob.insert(blob.end(), wrapped_payload + 8, 0);
+  SyndromeTrace::rewrite_payload(blob);
 
   const std::string path = temp_path("wrap.qtrc");
   write_all(path, std::vector<char>(blob.begin(), blob.end()));
@@ -318,6 +318,72 @@ TEST(StreamTrace, SingleBitCorruptionSweepNeverCrashesOrSilentlyLoads) {
   EXPECT_EQ(rejected, bytes.size() * 8 - 24 * 8);
   std::remove(path.c_str());
   std::remove(mutated_path.c_str());
+}
+
+TEST(StreamTrace, RewritePayloadMakesMutatedBytesLoadable) {
+  // The fuzz-mutation contract: flip any payload bit, re-sign with
+  // rewrite_payload, and the loader accepts the mutated file. Defect bits
+  // round-trip to exactly the mutated bytes; padding bits (past `checks`
+  // or `data_qubits` in a final partial byte) load but canonicalize back
+  // to zero on re-save, because PackedBits::from_bytes masks the tail.
+  StreamConfig config;
+  config.lanes = 2;
+  config.distance = 3;
+  config.p = 0.05;
+  config.rounds = 3;
+  config.seed = 5;
+  const auto trace = record_trace(config);
+  const std::string path = temp_path("rewrite.qtrc");
+  const std::string mutated_path = temp_path("rewrite_mut.qtrc");
+  trace.save(path);
+  const auto chars = read_all(path);
+  const std::vector<std::uint8_t> bytes(chars.begin(), chars.end());
+
+  const std::size_t offset = SyndromeTrace::payload_offset();
+  const std::size_t payload_size = SyndromeTrace::payload_size(bytes);
+  ASSERT_EQ(offset + payload_size + 8, bytes.size());
+
+  std::size_t exact = 0, canonicalized = 0;
+  for (std::size_t bit = 0; bit < payload_size * 8; ++bit) {
+    auto mutated = bytes;
+    mutated[offset + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    SyndromeTrace::rewrite_payload(mutated);
+    write_all(mutated_path,
+              std::vector<char>(mutated.begin(), mutated.end()));
+    SyndromeTrace reloaded;
+    ASSERT_NO_THROW(reloaded = SyndromeTrace::load(mutated_path))
+        << "payload bit " << bit << " re-signed but rejected";
+    reloaded.save(mutated_path);
+    const auto resaved_chars = read_all(mutated_path);
+    const std::vector<std::uint8_t> resaved(resaved_chars.begin(),
+                                            resaved_chars.end());
+    if (resaved == mutated) {
+      ++exact;
+    } else {
+      // Padding bit: dropping it must restore the original bytes.
+      const std::vector<std::uint8_t> original(chars.begin(), chars.end());
+      ASSERT_EQ(resaved, original)
+          << "payload bit " << bit
+          << " neither round-tripped nor canonicalized";
+      ++canonicalized;
+    }
+  }
+  // d=3: 6 checks per 1-byte layer (2 padding bits), 13 data qubits per
+  // 2-byte final error (3 padding bits). 2 lanes x 4 rounds of layers plus
+  // 2 final errors.
+  const std::size_t padding_bits = 2u * 4u * 2u + 2u * 3u;
+  EXPECT_EQ(canonicalized, padding_bits);
+  EXPECT_EQ(exact, payload_size * 8 - padding_bits);
+  std::remove(path.c_str());
+  std::remove(mutated_path.c_str());
+}
+
+TEST(StreamTrace, RewritePayloadRejectsForeignBlobs) {
+  std::vector<std::uint8_t> blob(10, 0);
+  EXPECT_THROW(SyndromeTrace::rewrite_payload(blob), TraceError);
+  blob.assign(200, 0);  // long enough, but no QTRC magic
+  EXPECT_THROW(SyndromeTrace::rewrite_payload(blob), TraceError);
+  EXPECT_THROW(SyndromeTrace::payload_size(blob), TraceError);
 }
 
 TEST(StreamTrace, MissingFileThrows) {
