@@ -75,6 +75,18 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("reproduces: %s\n\n", paper_ref);
 }
 
+/// Uniform "--foo-csv=FILE written" reporting: prints the success line or
+/// the cannot-write error. Returns `ok` so callers can fold it into their
+/// exit status (`if (!report_written(...)) return 1;`).
+inline bool report_written(bool ok, const char* what, const std::string& path) {
+  if (!ok) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("%s written to %s\n", what, path.c_str());
+  return true;
+}
+
 // ---- machine-readable bench records (--json=FILE) ----------------------
 //
 // Every perf claim in this repo is pinned to a JSON run record (see

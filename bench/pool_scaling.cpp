@@ -36,6 +36,7 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/slo.hpp"
 #include "qecool/online_runner.hpp"
 #include "stream/admission.hpp"
 #include "stream/scheduler.hpp"
@@ -102,7 +103,16 @@ constexpr const char* kOptions =
     "                        counts land in the --json obs block)\n"
     "  --trace-ring=16384    per-track event ring capacity\n"
     "  --metrics-csv=FILE    windowed metrics time series of the LAST cell\n"
-    "  --metrics-window=64   rounds per metrics window\n";
+    "  --metrics-window=64   rounds per metrics window\n"
+    "  --profile-csv=FILE    per-stage wall-clock self-profile of the LAST\n"
+    "                        cell (enables profiling for every cell;\n"
+    "                        wall-clock values are non-deterministic)\n"
+    "  --slo=SPEC            SLO burn-rate objectives per cell, e.g.\n"
+    "                        'sojourn_p99<8' (implies windowed metrics;\n"
+    "                        per-cell compliance lands in the --json\n"
+    "                        record's slo block)\n"
+    "  --prom-snapshot=FILE  Prometheus snapshot of the LAST cell's final\n"
+    "                        cumulative metrics (implies metrics)\n";
 
 }  // namespace
 
@@ -125,9 +135,13 @@ int main(int argc, char** argv) {
   base.obs.trace = !trace_json.empty();
   base.obs.trace_ring =
       static_cast<int>(args.get_int_or("trace-ring", base.obs.trace_ring));
-  base.obs.metrics = !metrics_csv.empty();
+  const std::string profile_csv = args.get_or("profile-csv", "");
+  const std::string prom_snapshot = args.get_or("prom-snapshot", "");
+  base.obs.metrics = !metrics_csv.empty() || !prom_snapshot.empty();
   base.obs.metrics_window = static_cast<int>(
       args.get_int_or("metrics-window", base.obs.metrics_window));
+  base.obs.profile = !profile_csv.empty();
+  base.obs.slo = args.get_or("slo", "");
 
   qec::bench::print_header(
       "Pool scaling: K shared decoder engines serving N lanes",
@@ -159,6 +173,7 @@ int main(int argc, char** argv) {
     for (const auto& admission : admissions) {
       qec::parse_admission_spec(admission);
     }
+    if (!base.obs.slo.empty()) qec::obs::parse_slo_spec(base.obs.slo);
     if (base.budget_w > 0) {
       for (const double mhz : clocks_mhz) {
         if (mhz <= 0) {
@@ -195,6 +210,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> json_cells;
     std::shared_ptr<qec::obs::Tracer> last_tracer;
     std::shared_ptr<qec::obs::MetricsRegistry> last_metrics;
+    std::shared_ptr<qec::obs::Profiler> last_profiler;
+    std::shared_ptr<qec::obs::SloEngine> last_slo;
 
     const std::string latency_path = args.get_or("latency-csv", "");
     qec::CsvWriter latency_csv(
@@ -344,10 +361,15 @@ int main(int argc, char** argv) {
                                          : 0.0)
                         .str());
               }
+              if (outcome.slo) {
+                cell.add_raw("slo", outcome.slo->summary_json());
+              }
               json_cells.push_back(cell.str());
             }
             last_tracer = outcome.tracer;
             last_metrics = outcome.metrics;
+            last_profiler = outcome.profiler;
+            last_slo = outcome.slo;
             table.add_row({policy, admission, fmt(k_over_n),
                            fmt(mhz, "%.6g"), fmt(watts, "%.3g"),
                            std::to_string(outcome.failed_lanes) + "/" +
@@ -378,21 +400,28 @@ int main(int argc, char** argv) {
       std::printf("per-lane sojourn latency written to %s\n",
                   latency_path.c_str());
     }
-    if (!trace_json.empty() && last_tracer) {
-      if (!qec::obs::write_chrome_trace(*last_tracer, trace_json)) {
-        std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
-        return 1;
-      }
-      std::printf("event trace (last cell) written to %s\n",
-                  trace_json.c_str());
+    using qec::bench::report_written;
+    if (!trace_json.empty() && last_tracer &&
+        !report_written(qec::obs::write_chrome_trace(*last_tracer, trace_json,
+                                                     last_profiler.get()),
+                        "event trace (last cell)", trace_json)) {
+      return 1;
     }
-    if (!metrics_csv.empty() && last_metrics) {
-      if (!last_metrics->write_csv(metrics_csv)) {
-        std::fprintf(stderr, "cannot write %s\n", metrics_csv.c_str());
-        return 1;
-      }
-      std::printf("windowed metrics (last cell) written to %s\n",
-                  metrics_csv.c_str());
+    if (!metrics_csv.empty() && last_metrics &&
+        !report_written(last_metrics->write_csv(metrics_csv),
+                        "windowed metrics (last cell)", metrics_csv)) {
+      return 1;
+    }
+    if (!profile_csv.empty() && last_profiler &&
+        !report_written(last_profiler->write_csv(profile_csv),
+                        "wall-clock profile (last cell)", profile_csv)) {
+      return 1;
+    }
+    if (!prom_snapshot.empty() && last_metrics &&
+        !report_written(qec::obs::write_prom_snapshot(
+                            *last_metrics, last_slo.get(), prom_snapshot),
+                        "prometheus snapshot (last cell)", prom_snapshot)) {
+      return 1;
     }
     if (!json_path.empty()) {
       std::vector<std::string> policy_items, admission_items, pool_items;
@@ -414,6 +443,8 @@ int main(int argc, char** argv) {
               .add("dispatch", base.rounds_per_dispatch)
               .add("threads", base.threads)
               .add("budget_w", base.budget_w)
+              .add("slo", base.obs.slo)
+              .add("profile", base.obs.profile ? 1 : 0)
               .add_raw("policies", qec::bench::json_array(policy_items))
               .add_raw("admissions", qec::bench::json_array(admission_items))
               .add_raw("engines", qec::bench::json_array(pool_items))

@@ -26,6 +26,8 @@
 #include "common/table.hpp"
 #include "decoder/registry.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/slo.hpp"
 #include "qecool/decode_cache.hpp"
 #include "qecool/online_runner.hpp"
 #include "stream/admission.hpp"
@@ -73,7 +75,20 @@ constexpr const char* kOptions =
     "  --trace-ring=16384    per-track event ring capacity (flight recorder:\n"
     "                        oldest events drop once full)\n"
     "  --metrics-csv=FILE    windowed metrics time-series CSV\n"
-    "  --metrics-window=64   rounds per metrics window\n";
+    "  --metrics-window=64   rounds per metrics window\n"
+    "  --profile-csv=FILE    per-stage wall-clock self-profile CSV (enables\n"
+    "                        profiling; wall-clock values are explicitly\n"
+    "                        non-deterministic — docs/observability.md)\n"
+    "  --slo=SPEC            SLO burn-rate objectives, e.g.\n"
+    "                        'sojourn_p99<8,window=256' (implies windowed\n"
+    "                        metrics; verdicts are thread-count invariant)\n"
+    "  --slo-csv=FILE        per-window SLO verdict CSV\n"
+    "  --prom-snapshot=FILE  Prometheus text-exposition snapshot of the\n"
+    "                        final cumulative metrics (implies metrics)\n"
+    "  --dump-obs-on-exit[=DIR]\n"
+    "                        arm the postmortem flight recorder: dump the\n"
+    "                        obs bundle to DIR (default obs_bundle) at\n"
+    "                        exit, on fatal signals, and on SIGUSR1\n";
 
 }  // namespace
 
@@ -102,9 +117,20 @@ int main(int argc, char** argv) {
   config.obs.trace = !trace_json.empty();
   config.obs.trace_ring =
       static_cast<int>(args.get_int_or("trace-ring", config.obs.trace_ring));
-  config.obs.metrics = !metrics_csv.empty();
+  const std::string profile_csv = args.get_or("profile-csv", "");
+  const std::string slo_csv = args.get_or("slo-csv", "");
+  const std::string prom_snapshot = args.get_or("prom-snapshot", "");
+  const auto dump_dir =
+      qec::optional_value_flag(args, "dump-obs-on-exit", "obs_bundle");
+  config.obs.metrics = !metrics_csv.empty() || !prom_snapshot.empty();
   config.obs.metrics_window = static_cast<int>(
       args.get_int_or("metrics-window", config.obs.metrics_window));
+  config.obs.profile = !profile_csv.empty();
+  config.obs.slo = args.get_or("slo", "");
+  if (dump_dir) {
+    config.obs.dump_dir = *dump_dir;
+    qec::obs::FlightRecorder::install_signal_handlers();
+  }
 
   qec::bench::print_header(
       "Stream soak: N concurrent on-line lanes vs a shared decoder pool",
@@ -117,6 +143,7 @@ int main(int argc, char** argv) {
     qec::make_scheduler_policy(config.policy);
     qec::parse_admission_spec(config.admission);
     if (!config.cache.empty()) qec::parse_decode_cache_spec(config.cache);
+    if (!config.obs.slo.empty()) qec::obs::parse_slo_spec(config.obs.slo);
 
     qec::SyndromeTrace trace;
     const std::string trace_in = args.get_or("trace-in", "");
@@ -205,69 +232,99 @@ int main(int argc, char** argv) {
                      std::to_string(outcome.metrics->windows()) + " (" +
                          std::to_string(outcome.metrics->window()) + ")"});
     }
+    if (outcome.slo) {
+      for (const auto& s : outcome.slo->summaries()) {
+        table.add_row(
+            {"slo " + s.spec,
+             std::string(qec::obs::slo_state_name(s.state)) + " (" +
+                 std::to_string(s.violations) + "/" +
+                 std::to_string(s.windows) + " bad windows, " +
+                 std::to_string(s.pages) + " paged)"});
+      }
+      table.add_row({"slo compliant (never paged)",
+                     outcome.slo->compliant() ? "yes" : "no"});
+    }
     table.print();
     std::printf("\nwall-clock %.1f ms (--threads=%d, --dispatch=%d)\n", ms,
                 config.threads, config.rounds_per_dispatch);
 
-    const std::string csv = args.get_or("csv", "");
-    if (!csv.empty()) {
-      if (!outcome.telemetry.write_csv(csv)) {
-        std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+    {
+      // Export time shows up as the kTraceExport stage when profiling.
+      qec::obs::ScopedStage prof(outcome.profiler.get(),
+                                 qec::obs::Stage::kTraceExport);
+      using qec::bench::report_written;
+      const std::string csv = args.get_or("csv", "");
+      if (!csv.empty() &&
+          !report_written(outcome.telemetry.write_csv(csv), "telemetry", csv)) {
         return 1;
       }
-      std::printf("telemetry written to %s\n", csv.c_str());
+      const std::string sched_csv = args.get_or("sched-csv", "");
+      if (!sched_csv.empty() &&
+          !report_written(outcome.telemetry.write_schedule_csv(sched_csv),
+                          "schedule report", sched_csv)) {
+        return 1;
+      }
+      const std::string timeline_csv = args.get_or("timeline-csv", "");
+      if (!timeline_csv.empty() &&
+          !report_written(outcome.telemetry.write_timeline_csv(timeline_csv),
+                          "round timeline", timeline_csv)) {
+        return 1;
+      }
+      const std::string cache_csv = args.get_or("cache-csv", "");
+      if (!cache_csv.empty() &&
+          !report_written(outcome.telemetry.write_cache_csv(cache_csv),
+                          "decode-cache report", cache_csv)) {
+        return 1;
+      }
+      const std::string latency_csv = args.get_or("latency-csv", "");
+      if (!latency_csv.empty() &&
+          !report_written(outcome.telemetry.write_latency_csv(latency_csv),
+                          "sojourn latency report", latency_csv)) {
+        return 1;
+      }
+      if (!trace_json.empty() &&
+          !report_written(
+              qec::obs::write_chrome_trace(*outcome.tracer, trace_json,
+                                           outcome.profiler.get()),
+              "event trace (open in Perfetto)", trace_json)) {
+        return 1;
+      }
+      if (!metrics_csv.empty() &&
+          !report_written(outcome.metrics->write_csv(metrics_csv),
+                          "windowed metrics", metrics_csv)) {
+        return 1;
+      }
+      if (!slo_csv.empty() &&
+          !report_written(outcome.slo ? outcome.slo->write_csv(slo_csv) : false,
+                          "slo verdicts", slo_csv)) {
+        return 1;
+      }
+      if (!prom_snapshot.empty() &&
+          !report_written(
+              qec::obs::write_prom_snapshot(*outcome.metrics,
+                                            outcome.slo.get(), prom_snapshot),
+              "prometheus snapshot", prom_snapshot)) {
+        return 1;
+      }
     }
-    const std::string sched_csv = args.get_or("sched-csv", "");
-    if (!sched_csv.empty()) {
-      if (!outcome.telemetry.write_schedule_csv(sched_csv)) {
-        std::fprintf(stderr, "cannot write %s\n", sched_csv.c_str());
-        return 1;
-      }
-      std::printf("schedule report written to %s\n", sched_csv.c_str());
+    if (!profile_csv.empty() &&
+        !qec::bench::report_written(outcome.profiler->write_csv(profile_csv),
+                                    "wall-clock profile", profile_csv)) {
+      return 1;
     }
-    const std::string timeline_csv = args.get_or("timeline-csv", "");
-    if (!timeline_csv.empty()) {
-      if (!outcome.telemetry.write_timeline_csv(timeline_csv)) {
-        std::fprintf(stderr, "cannot write %s\n", timeline_csv.c_str());
-        return 1;
-      }
-      std::printf("round timeline written to %s\n", timeline_csv.c_str());
-    }
-    const std::string cache_csv = args.get_or("cache-csv", "");
-    if (!cache_csv.empty()) {
-      if (!outcome.telemetry.write_cache_csv(cache_csv)) {
-        std::fprintf(stderr, "cannot write %s\n", cache_csv.c_str());
-        return 1;
-      }
-      std::printf("decode-cache report written to %s\n", cache_csv.c_str());
-    }
-    const std::string latency_csv = args.get_or("latency-csv", "");
-    if (!latency_csv.empty()) {
-      if (!outcome.telemetry.write_latency_csv(latency_csv)) {
-        std::fprintf(stderr, "cannot write %s\n", latency_csv.c_str());
-        return 1;
-      }
-      std::printf("sojourn latency report written to %s\n",
-                  latency_csv.c_str());
-    }
-    if (!trace_json.empty()) {
-      if (!qec::obs::write_chrome_trace(*outcome.tracer, trace_json)) {
-        std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
-        return 1;
-      }
-      std::printf("event trace written to %s (open in Perfetto)\n",
-                  trace_json.c_str());
-    }
-    if (!metrics_csv.empty()) {
-      if (!outcome.metrics->write_csv(metrics_csv)) {
-        std::fprintf(stderr, "cannot write %s\n", metrics_csv.c_str());
-        return 1;
-      }
-      std::printf("windowed metrics written to %s\n", metrics_csv.c_str());
+    if (dump_dir && qec::obs::FlightRecorder::instance().dump("exit")) {
+      std::printf("obs bundle dumped to %s\n", dump_dir->c_str());
     }
     return outcome.overflow_lanes == outcome.lanes ? 2 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "stream_soak: %s\n", e.what());
+    // Best-effort postmortem: armed only when --dump-obs-on-exit was given
+    // and run_stream got far enough to attach the obs objects.
+    if (qec::obs::FlightRecorder::instance().dump(
+            std::string("exception: ") + e.what())) {
+      std::fprintf(stderr, "obs bundle dumped to %s\n",
+                   qec::obs::FlightRecorder::instance().dir().c_str());
+    }
     return 1;
   }
 }

@@ -97,6 +97,15 @@ bool handle_help(const CliArgs& args, const char* program,
   return true;
 }
 
+std::optional<std::string> optional_value_flag(const CliArgs& args,
+                                               std::string_view name,
+                                               std::string_view bare_value) {
+  const auto raw = args.get(name);
+  if (!raw) return std::nullopt;
+  if (raw->empty()) return std::string(bare_value);
+  return raw;
+}
+
 std::int64_t trials_override(const CliArgs& args, std::int64_t fallback) {
   if (const auto v = args.get_int("trials")) return *v;
   if (const char* env = std::getenv("QECOOL_TRIALS")) {

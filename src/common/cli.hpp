@@ -60,6 +60,14 @@ bool wants_help(const CliArgs& args);
 bool handle_help(const CliArgs& args, const char* program,
                  const char* summary, const char* options);
 
+/// Reads a flag that may appear bare or with a value — the
+/// "--dump-obs-on-exit[=DIR]" shape. Returns std::nullopt when the flag is
+/// absent, its value when given as --name=value, and `bare_value` when the
+/// flag appears with no value (the built-in default).
+std::optional<std::string> optional_value_flag(const CliArgs& args,
+                                               std::string_view name,
+                                               std::string_view bare_value);
+
 /// Reads trial-count override from --trials or env QECOOL_TRIALS, falling
 /// back to `fallback`. Shared by every bench binary.
 std::int64_t trials_override(const CliArgs& args, std::int64_t fallback);

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp"
+
 namespace qec::obs {
 namespace {
 
@@ -22,6 +24,24 @@ int track_pid(TrackKind kind) {
 
 std::string i64(std::int64_t v) { return std::to_string(v); }
 std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+const char* slo_state_arg_name(std::uint16_t arg) {
+  switch (arg) {
+    case kSloOk: return "ok";
+    case kSloWarning: return "warning";
+    case kSloPage: return "page";
+  }
+  return "unknown";
+}
+
+/// Microseconds with fixed 3-decimal formatting (wall-clock track only).
+std::string us3(std::uint64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(nanos / 1000),
+                static_cast<unsigned long long>(nanos % 1000));
+  return buf;
+}
 
 /// Kind-specific args object (payload/arg decoded per the taxonomy).
 std::string event_args(const TraceEvent& event) {
@@ -57,6 +77,9 @@ std::string event_args(const TraceEvent& event) {
                   ? "hit"
                   : (event.arg == kCacheZero ? "zero" : "miss")) +
              "\"}";
+    case EventKind::kSloState:
+      return "{\"objective\": " + u64(event.payload) + ", \"state\": \"" +
+             slo_state_arg_name(event.arg) + "\"}";
   }
   return "{}";
 }
@@ -98,7 +121,8 @@ std::string metadata_line(const char* what, int pid, int tid,
 
 }  // namespace
 
-bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+bool write_chrome_trace(const Tracer& tracer, const std::string& path,
+                        const Profiler* profiler) {
   std::vector<MergedEvent> events = tracer.merged();
 
   // Close dangling pause spans: a lane still frozen at run end has a "B"
@@ -174,7 +198,33 @@ bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
     lines.push_back(
         metadata_line("thread_name", 3, e, "engine " + std::to_string(e)));
   }
+  // Exact ring accounting, as metadata so viewers ignore it:
+  // check_trace_json.py escalates orphaned spans from warning to error
+  // when dropped == 0 (no overwrite can excuse them).
+  lines.push_back(
+      "{\"ph\": \"M\", \"ts\": 0, \"pid\": 1, \"tid\": 0, \"name\": "
+      "\"trace_ring_stats\", \"args\": {\"emitted\": " +
+      u64(tracer.emitted()) + ", \"dropped\": " + u64(tracer.dropped()) + "}}");
   for (const MergedEvent& merged : events) lines.push_back(event_line(merged));
+
+  // The wall-clock profiler track (pid 4): real time in microseconds, one
+  // tid per registered thread, samples sorted by start so ts is monotonic
+  // per thread. Explicitly non-deterministic — only present when the run
+  // opted into profiling.
+  if (profiler && profiler->threads() > 0) {
+    lines.push_back(metadata_line("process_name", 4, 0, "profiler (wall clock)"));
+    for (int t = 0; t < profiler->threads(); ++t) {
+      lines.push_back(
+          metadata_line("thread_name", 4, t, "thread " + std::to_string(t)));
+      for (const WallSample& sample : profiler->thread_samples(t)) {
+        lines.push_back("{\"ph\": \"X\", \"ts\": " + us3(sample.start_ns) +
+                        ", \"pid\": 4, \"tid\": " + std::to_string(t) +
+                        ", \"name\": \"" + stage_name(sample.stage) +
+                        "\", \"dur\": " + us3(sample.dur_ns) +
+                        ", \"args\": {\"wall_clock\": true}}");
+      }
+    }
+  }
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
     put(lines[i]);

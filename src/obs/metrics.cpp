@@ -34,6 +34,7 @@ void LogHistogram::observe(std::uint64_t value) {
   if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
   ++buckets_[index];
   ++count_;
+  sum_ += value;
   max_ = std::max(max_, value);
 }
 
@@ -54,16 +55,29 @@ std::uint64_t LogHistogram::quantile(double q) const {
   return max_;
 }
 
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
 void LogHistogram::reset() {
   buckets_.clear();
   count_ = 0;
   max_ = 0;
+  sum_ = 0;
 }
 
 MetricsRegistry::MetricsRegistry(int window) : window_(window < 1 ? 1 : window) {}
 
 int MetricsRegistry::add_counter(const std::string& name) {
-  counters_.push_back({name, 0});
+  counters_.push_back({name, 0, 0});
   return static_cast<int>(counters_.size()) - 1;
 }
 
@@ -85,22 +99,65 @@ void MetricsRegistry::tick(std::int64_t round) {
   }
   last_ = round;
   ++ticks_;
-  if (round - first_ + 1 >= window_) close_window();
+  if (round - first_ + 1 >= window_) close_window(/*partial=*/false);
 }
 
 void MetricsRegistry::finish() {
-  if (open_ && ticks_ > 0) close_window();
+  if (open_ && ticks_ > 0) close_window(/*partial=*/true);
 }
 
-void MetricsRegistry::close_window() {
+std::vector<std::string> MetricsRegistry::value_schema() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
+  for (const auto& counter : counters_) names.push_back(counter.name);
+  for (const auto& gauge : gauges_) names.push_back(gauge.name);
+  for (const auto& histogram : histograms_) {
+    names.push_back(histogram.name + "_count");
+    names.push_back(histogram.name + "_p50");
+    names.push_back(histogram.name + "_p95");
+    names.push_back(histogram.name + "_p99");
+    names.push_back(histogram.name + "_max");
+  }
+  return names;
+}
+
+void MetricsRegistry::close_window(bool partial) {
+  // Numeric snapshot first (value_schema() order), then the observer: any
+  // counters the SLO engine bumps land in this window's rendered row.
+  std::vector<std::int64_t> values;
+  values.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
+  for (const auto& counter : counters_) {
+    values.push_back(static_cast<std::int64_t>(counter.window));
+  }
+  for (const auto& gauge : gauges_) values.push_back(gauge.value);
+  for (const auto& histogram : histograms_) {
+    values.push_back(static_cast<std::int64_t>(histogram.hist.count()));
+    values.push_back(static_cast<std::int64_t>(histogram.hist.quantile(50)));
+    values.push_back(static_cast<std::int64_t>(histogram.hist.quantile(95)));
+    values.push_back(static_cast<std::int64_t>(histogram.hist.quantile(99)));
+    values.push_back(static_cast<std::int64_t>(histogram.hist.max()));
+  }
+  if (observer_) {
+    WindowSnapshot snapshot;
+    snapshot.index = static_cast<int>(rows_.size());
+    snapshot.first = first_;
+    snapshot.last = last_;
+    snapshot.rounds = ticks_;
+    snapshot.partial = partial;
+    snapshot.values = &values;
+    observer_(snapshot);
+  }
+
   std::vector<std::string> row;
-  row.reserve(4 + counters_.size() + gauges_.size() + 5 * histograms_.size());
+  row.reserve(5 + counters_.size() + gauges_.size() + 5 * histograms_.size());
   row.push_back(std::to_string(rows_.size()));
   row.push_back(std::to_string(first_));
   row.push_back(std::to_string(last_));
   row.push_back(std::to_string(ticks_));
+  row.push_back(partial ? "1" : "0");
   for (auto& counter : counters_) {
     row.push_back(std::to_string(counter.window));
+    counter.total += counter.window;
     counter.window = 0;  // counters report per-window deltas
   }
   for (const auto& gauge : gauges_) {
@@ -112,6 +169,7 @@ void MetricsRegistry::close_window() {
     row.push_back(std::to_string(histogram.hist.quantile(95)));
     row.push_back(std::to_string(histogram.hist.quantile(99)));
     row.push_back(std::to_string(histogram.hist.max()));
+    histogram.total.merge(histogram.hist);
     histogram.hist.reset();  // histograms cover one window each
   }
   rows_.push_back(std::move(row));
@@ -119,21 +177,25 @@ void MetricsRegistry::close_window() {
   ticks_ = 0;
 }
 
-bool MetricsRegistry::write_csv(const std::string& path) const {
+std::vector<std::string> MetricsRegistry::header() const {
   std::vector<std::string> header = {"window", "round_first", "round_last",
-                                     "rounds"};
-  for (const auto& counter : counters_) header.push_back(counter.name);
-  for (const auto& gauge : gauges_) header.push_back(gauge.name);
-  for (const auto& histogram : histograms_) {
-    header.push_back(histogram.name + "_count");
-    header.push_back(histogram.name + "_p50");
-    header.push_back(histogram.name + "_p95");
-    header.push_back(histogram.name + "_p99");
-    header.push_back(histogram.name + "_max");
-  }
-  CsvWriter csv(path, header);
+                                     "rounds", "partial"};
+  for (const auto& name : value_schema()) header.push_back(name);
+  return header;
+}
+
+bool MetricsRegistry::write_csv(const std::string& path) const {
+  CsvWriter csv(path, header());
   if (!csv.ok()) return false;
   for (const auto& row : rows_) csv.add_row(row);
+  csv.flush();
+  return true;
+}
+
+bool MetricsRegistry::write_last_window_csv(const std::string& path) const {
+  CsvWriter csv(path, header());
+  if (!csv.ok()) return false;
+  if (!rows_.empty()) csv.add_row(rows_.back());
   csv.flush();
   return true;
 }

@@ -15,9 +15,15 @@
 // understates the exact nearest-rank percentile over the same samples —
 // the invariant the tier-1 tests pin against percentile_nearest_rank.
 // Integer-only throughout (no FPU in the SFQ telemetry path either).
+//
+// Window closes are also the service's alerting heartbeat: a registered
+// window observer (obs::SloEngine) sees each window's numeric snapshot
+// *before* the CSV row is rendered, so any counters it bumps (slo_ok /
+// slo_warning / slo_page) land in the very row that triggered them.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,11 +49,17 @@ class LogHistogram {
   std::uint64_t count() const { return count_; }
   /// Exact maximum observed (tracked outside the buckets).
   std::uint64_t max() const { return max_; }
+  /// Exact sum of observed values (Prometheus summary `_sum`).
+  std::uint64_t sum() const { return sum_; }
 
   /// Upper bound of the bucket holding the nearest-rank q-th percentile
   /// (q in (0, 100]); 0 when empty. Never below the exact percentile of
   /// the same samples, and at most 12.5% above it (exact below 8).
   std::uint64_t quantile(double q) const;
+
+  /// Adds `other`'s buckets/count/sum/max into this histogram — how the
+  /// cumulative whole-run histogram absorbs each closed window.
+  void merge(const LogHistogram& other);
 
   void reset();
 
@@ -55,6 +67,20 @@ class LogHistogram {
   std::vector<std::uint64_t> buckets_;  ///< grown lazily to the top index
   std::uint64_t count_ = 0;
   std::uint64_t max_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Numeric snapshot of one closed window, handed to the window observer.
+/// `values` parallels MetricsRegistry::value_schema(): counters (window
+/// deltas), then gauges (value at close), then count/p50/p95/p99/max per
+/// histogram. Derived purely from logical rounds — thread-count invariant.
+struct WindowSnapshot {
+  int index = 0;             ///< window ordinal (CSV `window` column)
+  std::int64_t first = 0;    ///< first logical round of the window
+  std::int64_t last = 0;     ///< last logical round of the window
+  std::int64_t rounds = 0;   ///< rounds executed in the window
+  bool partial = false;      ///< trailing window flushed by finish()
+  const std::vector<std::int64_t>* values = nullptr;
 };
 
 /// A registry of named windowed metrics. Register instruments up front
@@ -62,7 +88,9 @@ class LogHistogram {
 /// and call tick(round) once per executed logical round: every W-th round
 /// closes a window — counters report the window delta, gauges the value
 /// at the window's close, histograms the window's count/p50/p95/p99/max —
-/// and appends one CSV row. finish() flushes a trailing partial window.
+/// and appends one CSV row. finish() flushes the trailing partial window
+/// (flagged by the `partial` column) so short runs and non-multiple round
+/// counts never lose their tail.
 class MetricsRegistry {
  public:
   explicit MetricsRegistry(int window);
@@ -92,16 +120,59 @@ class MetricsRegistry {
   /// Windows snapshotted so far.
   int windows() const { return static_cast<int>(rows_.size()); }
 
+  /// Column names of a WindowSnapshot's `values` vector, in order:
+  /// counters, gauges, then <hist>_count/_p50/_p95/_p99/_max. Stable once
+  /// registration is done; later registrations only append.
+  std::vector<std::string> value_schema() const;
+
+  /// Installs the window-close observer (at most one; the SLO engine).
+  /// Invoked inside close: counters bumped by the observer are included
+  /// in the closing window's CSV row, then reset with everything else.
+  void set_window_observer(std::function<void(const WindowSnapshot&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  // Cumulative whole-run view (fed at each window close) — the source
+  // for the Prometheus text snapshot. Counters: lifetime totals; gauges:
+  // latest value; histograms: merged across all closed windows.
+  int num_counters() const { return static_cast<int>(counters_.size()); }
+  const std::string& counter_name(int i) const {
+    return counters_[static_cast<std::size_t>(i)].name;
+  }
+  std::uint64_t counter_total(int i) const {
+    return counters_[static_cast<std::size_t>(i)].total;
+  }
+  int num_gauges() const { return static_cast<int>(gauges_.size()); }
+  const std::string& gauge_name(int i) const {
+    return gauges_[static_cast<std::size_t>(i)].name;
+  }
+  std::int64_t gauge_value(int i) const {
+    return gauges_[static_cast<std::size_t>(i)].value;
+  }
+  int num_histograms() const { return static_cast<int>(histograms_.size()); }
+  const std::string& histogram_name(int i) const {
+    return histograms_[static_cast<std::size_t>(i)].name;
+  }
+  const LogHistogram& histogram_total(int i) const {
+    return histograms_[static_cast<std::size_t>(i)].total;
+  }
+
   /// The time series: header + one row per closed window. Returns false
   /// when the file cannot be opened (mirroring the telemetry writers).
   bool write_csv(const std::string& path) const;
 
+  /// Header + the most recent closed window only — the postmortem
+  /// bundle's "what did the last heartbeat look like" file.
+  bool write_last_window_csv(const std::string& path) const;
+
  private:
-  void close_window();
+  void close_window(bool partial);
+  std::vector<std::string> header() const;
 
   struct Counter {
     std::string name;
     std::uint64_t window = 0;
+    std::uint64_t total = 0;  ///< cumulative across closed windows
   };
   struct Gauge {
     std::string name;
@@ -110,12 +181,14 @@ class MetricsRegistry {
   struct Histogram {
     std::string name;
     LogHistogram hist;
+    LogHistogram total;  ///< cumulative across closed windows
   };
 
   int window_ = 64;
   std::vector<Counter> counters_;
   std::vector<Gauge> gauges_;
   std::vector<Histogram> histograms_;
+  std::function<void(const WindowSnapshot&)> observer_;
 
   bool open_ = false;            ///< a window has pending rounds
   std::int64_t first_ = 0;       ///< first round of the open window

@@ -1,0 +1,86 @@
+// Postmortem flight-recorder dumps: when a run dies — TraceError, engine
+// divergence, a fatal signal — or when asked (SIGUSR1, --dump-obs-on-exit),
+// write everything the obs layer knows into one bundle directory:
+//
+//   <dir>/manifest.json     reason, file list, ring + SLO health summary
+//   <dir>/config.json       echo of the run's configuration
+//   <dir>/trace.json        merged ring trace (Chrome/Perfetto JSON,
+//                           wall-clock track included when profiling)
+//   <dir>/metrics.csv       every closed metrics window
+//   <dir>/last_window.csv   the final window alone (the last heartbeat)
+//   <dir>/profile.csv       per-stage wall-clock profile
+//   <dir>/slo.csv           SLO verdict time series
+//
+// Files for disabled subsystems are simply absent; the manifest lists
+// what was written. tools/obs_report.py renders the bundle as a triage
+// summary. The recorder is a process-wide singleton so signal handlers
+// and bench catch-blocks can reach it without plumbing; run_stream arms
+// it with the live obs objects when StreamObsConfig::dump_dir is set, and
+// the shared_ptr sources keep the bundle writable after the run returns.
+//
+// Signal safety: the handlers installed by install_signal_handlers() are
+// best-effort by design (flight recorders exist for exactly the moments
+// nothing else works). SIGUSR1 only sets an atomic flag that the
+// scheduling thread polls between dispatches — that path is fully safe.
+// The fatal-signal path (SIGSEGV/SIGABRT/SIGBUS/SIGFPE) dumps directly
+// from the handler, which is formally async-signal-unsafe; it is guarded
+// against recursion, takes the lock with try_lock, and then re-raises
+// with the default disposition so the crash still crashes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace qec::obs {
+
+class MetricsRegistry;
+class Profiler;
+class SloEngine;
+class Tracer;
+
+/// What the recorder snapshots. All sources optional; config_json is the
+/// already-serialized configuration echo.
+struct PostmortemSources {
+  std::shared_ptr<const Tracer> tracer;
+  std::shared_ptr<const MetricsRegistry> metrics;
+  std::shared_ptr<const Profiler> profiler;
+  std::shared_ptr<const SloEngine> slo;
+  std::string config_json;
+  std::string dir;  ///< bundle directory (created on dump)
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  /// Arms (or re-arms) the recorder with a run's live obs objects.
+  void arm(PostmortemSources sources);
+  /// Disarms; dump() becomes a no-op returning false.
+  void disarm();
+  bool armed() const;
+  /// The armed bundle directory ("" when disarmed).
+  std::string dir() const;
+
+  /// Writes the bundle. Returns false when disarmed, when the directory
+  /// cannot be created, or when another dump is in flight (try_lock — the
+  /// fatal-signal path must never deadlock on a lock the crashed thread
+  /// holds).
+  bool dump(const std::string& reason);
+
+  /// Async-signal-safe: flags a dump request (the SIGUSR1 handler).
+  static void request_dump();
+  /// Consumes the pending request flag (polled by the scheduling thread).
+  static bool take_dump_request();
+
+  /// Installs the SIGUSR1 dump-request handler and best-effort fatal
+  /// handlers (SIGSEGV/SIGABRT/SIGBUS/SIGFPE) that dump then re-raise.
+  /// Opt-in: benches call this only when --dump-obs-on-exit is given.
+  static void install_signal_handlers();
+
+ private:
+  FlightRecorder() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace qec::obs

@@ -19,6 +19,7 @@ const char* event_name(EventKind kind) {
     case EventKind::kDrained: return "drained";
     case EventKind::kGrant: return "grant";
     case EventKind::kCache: return "cache";
+    case EventKind::kSloState: return "slo";
   }
   return "unknown";
 }

@@ -51,7 +51,14 @@ enum class EventKind : std::uint16_t {
   kGrant,         ///< engine: grant consumed by a lane; payload = lane
   kCache,         ///< lane: decode-cache outcome; payload = cycles,
                   ///< arg = 0 miss / 1 hit / 2 all-zero fast path
+  kSloState,      ///< control: SLO burn-rate state at a window close;
+                  ///< payload = objective index, arg = 0 ok / 1 warning / 2 page
 };
+
+/// kSloState `arg` values: the objective's burn-rate state.
+inline constexpr std::uint16_t kSloOk = 0;
+inline constexpr std::uint16_t kSloWarning = 1;
+inline constexpr std::uint16_t kSloPage = 2;
 
 /// kCache `arg` values: how the engine resolved the run.
 inline constexpr std::uint16_t kCacheMiss = 0;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "qecool/probe.hpp"
 
@@ -403,8 +404,16 @@ std::uint64_t QecoolEngine::run_dispatch(std::uint64_t budget) {
     return consumed;
   }
 
-  const std::uint64_t hash = build_cache_key(budget);
-  if (const DecodeOutcome* outcome = cache_->lookup(hash, key_)) {
+  std::uint64_t hash = 0;
+  const DecodeOutcome* outcome = nullptr;
+  {
+    // The cache probe is the first half of the profiler's kCache stage
+    // (the second is the install below); a null profiler costs one branch.
+    obs::ScopedStage probe_scope(profiler_, obs::Stage::kCache);
+    hash = build_cache_key(budget);
+    outcome = cache_->lookup(hash, key_);
+  }
+  if (outcome != nullptr) {
     ++cache_stats_.hits;
     const std::uint64_t consumed = replay(*outcome);
     if (obs_track_) {
@@ -422,9 +431,12 @@ std::uint64_t QecoolEngine::run_dispatch(std::uint64_t budget) {
   const std::uint64_t consumed = run_scan(budget);
   recording_ = false;
   ++cache_stats_.installs;
-  build_outcome(consumed);
-  if (cache_->install(hash, key_, outcome_scratch_)) {
-    ++cache_stats_.evictions;
+  {
+    obs::ScopedStage install_scope(profiler_, obs::Stage::kCache);
+    build_outcome(consumed);
+    if (cache_->install(hash, key_, outcome_scratch_)) {
+      ++cache_stats_.evictions;
+    }
   }
   if (obs_track_) {
     obs_track_->emit(obs::EventKind::kCache, consumed, obs::kCacheMiss);

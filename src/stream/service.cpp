@@ -4,7 +4,10 @@
 #include <bit>
 #include <stdexcept>
 
+#include <cstdio>
+
 #include "decoder/registry.hpp"
+#include "obs/postmortem.hpp"
 #include "qecool/decode_cache.hpp"
 #include "qecool/online_runner.hpp"
 #include "sim/executor.hpp"
@@ -111,7 +114,8 @@ class PoolScheduler {
   PoolScheduler(std::vector<Lane>& lanes, SchedulerPolicy& policy, int engines,
                 const StreamConfig& config, const AdmissionConfig& admission,
                 const CacheLayout& cache, StreamTelemetry& telemetry,
-                obs::Tracer* tracer, obs::MetricsRegistry* metrics)
+                obs::Tracer* tracer, obs::MetricsRegistry* metrics,
+                obs::Profiler* profiler)
       : lanes_(lanes),
         policy_(policy),
         config_(config),
@@ -120,6 +124,7 @@ class PoolScheduler {
         telemetry_(telemetry),
         tracer_(tracer),
         metrics_(metrics),
+        profiler_(profiler),
         engines_(engines),
         // A shared cache shard makes per-lane hit counters sensitive to
         // execution order, so the cache clamps the batch to 1 like a
@@ -163,6 +168,20 @@ class PoolScheduler {
       m_cache_zero_rounds_ = metrics_->add_counter("cache_zero_rounds");
       m_cache_zero_pushes_ = metrics_->add_counter("cache_zero_pushes");
       m_cache_bypasses_ = metrics_->add_counter("cache_bypasses");
+      // Wall-clock profile feed: registered only when profiling is on, so
+      // the default metrics CSV schema is untouched — and these columns
+      // are the ONE part of the CSV exempt from the byte-identical
+      // contract (they measure real time). Values are nanoseconds accrued
+      // per window; trace_export happens after the run, so its column
+      // stays 0 here and lives in the profile CSV instead.
+      if (profiler_) {
+        m_prof_[0] = metrics_->add_counter("prof_dispatch_ns");
+        m_prof_[1] = metrics_->add_counter("prof_lane_ns");
+        m_prof_[2] = metrics_->add_counter("prof_reduce_ns");
+        m_prof_[3] = metrics_->add_counter("prof_cache_ns");
+        m_prof_[4] = metrics_->add_counter("prof_telemetry_ns");
+        m_prof_[5] = metrics_->add_counter("prof_export_ns");
+      }
     }
   }
 
@@ -186,50 +205,57 @@ class PoolScheduler {
       cache_after_.assign(slots, DecodeCacheStats{});
     }
 
-    // Pre-round lane state for the policy. Fresh only when count == 1,
-    // which the constructor forces for dynamic policies; static policies
-    // never read it.
-    for (int i = 0; i < n; ++i) {
-      const Lane& lane = lanes_[static_cast<std::size_t>(i)];
-      depth_[static_cast<std::size_t>(i)] = lane.stepper.engine().stored_layers();
-      finished_[static_cast<std::size_t>(i)] =
-          (drain ? lane.finished() : lane.stepper.overflowed()) ? 1 : 0;
-    }
+    {
+      // Profiler stage scopes (here and below) cost one branch each when
+      // profiling is off and never touch any outcome — timing is observed,
+      // not consulted.
+      obs::ScopedStage prof(profiler_, obs::Stage::kDispatchAssign);
 
-    // Assignments for the whole batch, in round order on this thread.
-    assignments_.assign(static_cast<std::size_t>(count) *
-                            static_cast<std::size_t>(engines_),
-                        -1);
-    ScheduleView view;
-    view.lanes = n;
-    view.engines = engines_;
-    view.depth = depth_.data();
-    view.finished = finished_.data();
-    view.grant_cycles = config_.cycles_per_round;
-    for (int r = 0; r < count; ++r) {
-      view.round = start + r;
-      // Reset so a policy that leaves an engine's entry untouched idles it
-      // instead of inheriting the previous round's grant.
-      std::fill(assignment_.begin(), assignment_.end(), -1);
-      policy_.assign(view, assignment_);
-      for (int e = 0; e < engines_; ++e) {
-        const int lane = assignment_[static_cast<std::size_t>(e)];
-        assignments_[static_cast<std::size_t>(r) * engines_ +
-                     static_cast<std::size_t>(e)] = lane;
-        if (lane < 0) continue;
-        if (lane >= n) {
-          throw std::logic_error("stream: policy assigned engine " +
-                                 std::to_string(e) + " to nonexistent lane " +
-                                 std::to_string(lane));
+      // Pre-round lane state for the policy. Fresh only when count == 1,
+      // which the constructor forces for dynamic policies; static policies
+      // never read it.
+      for (int i = 0; i < n; ++i) {
+        const Lane& lane = lanes_[static_cast<std::size_t>(i)];
+        depth_[static_cast<std::size_t>(i)] = lane.stepper.engine().stored_layers();
+        finished_[static_cast<std::size_t>(i)] =
+            (drain ? lane.finished() : lane.stepper.overflowed()) ? 1 : 0;
+      }
+
+      // Assignments for the whole batch, in round order on this thread.
+      assignments_.assign(static_cast<std::size_t>(count) *
+                              static_cast<std::size_t>(engines_),
+                          -1);
+      ScheduleView view;
+      view.lanes = n;
+      view.engines = engines_;
+      view.depth = depth_.data();
+      view.finished = finished_.data();
+      view.grant_cycles = config_.cycles_per_round;
+      for (int r = 0; r < count; ++r) {
+        view.round = start + r;
+        // Reset so a policy that leaves an engine's entry untouched idles it
+        // instead of inheriting the previous round's grant.
+        std::fill(assignment_.begin(), assignment_.end(), -1);
+        policy_.assign(view, assignment_);
+        for (int e = 0; e < engines_; ++e) {
+          const int lane = assignment_[static_cast<std::size_t>(e)];
+          assignments_[static_cast<std::size_t>(r) * engines_ +
+                       static_cast<std::size_t>(e)] = lane;
+          if (lane < 0) continue;
+          if (lane >= n) {
+            throw std::logic_error("stream: policy assigned engine " +
+                                   std::to_string(e) + " to nonexistent lane " +
+                                   std::to_string(lane));
+          }
+          auto& slot = grant_[static_cast<std::size_t>(lane) * count +
+                              static_cast<std::size_t>(r)];
+          if (slot >= 0) {
+            throw std::logic_error(
+                "stream: policy assigned two engines to lane " +
+                std::to_string(lane) + " in one round");
+          }
+          slot = e;
         }
-        auto& slot = grant_[static_cast<std::size_t>(lane) * count +
-                            static_cast<std::size_t>(r)];
-        if (slot >= 0) {
-          throw std::logic_error(
-              "stream: policy assigned two engines to lane " +
-              std::to_string(lane) + " in one round");
-        }
-        slot = e;
       }
     }
 
@@ -237,6 +263,7 @@ class PoolScheduler {
     // state or the lane's own scratch slots. (Shard-sequential when the
     // decode cache is on: see for_lanes.)
     for_lanes(n, [&](int i) {
+      obs::ScopedStage prof(profiler_, obs::Stage::kLaneExecute);
       Lane& lane = lanes_[static_cast<std::size_t>(i)];
       for (int r = 0; r < count; ++r) {
         const std::size_t idx = static_cast<std::size_t>(i) * count +
@@ -299,6 +326,7 @@ class PoolScheduler {
     });
 
     // Reductions in fixed (round, lane/engine) order on this thread.
+    obs::ScopedStage prof_reduce(profiler_, obs::Stage::kReduction);
     for (int r = 0; r < count; ++r) {
       RoundSample sample;
       sample.round = start + r;
@@ -361,9 +389,11 @@ class PoolScheduler {
       telemetry_.timeline.push_back(sample);
       if (tracer_) trace_round_schedule(*tracer_, start + r, served_, drain);
       if (metrics_) {
+        obs::ScopedStage prof_close(profiler_, obs::Stage::kTelemetryClose);
         metrics_->set_gauge(m_live_, sample.live_lanes);
         metrics_->set_gauge(m_paused_, sample.paused_lanes);
         metrics_->set_gauge(m_overflowed_, overflowed_so_far_);
+        feed_profile();
         metrics_->tick(start + r);
       }
     }
@@ -390,6 +420,12 @@ class PoolScheduler {
       pops_.assign(static_cast<std::size_t>(n), 0);
       samples_after_.assign(static_cast<std::size_t>(n), 0);
       cache_after_.assign(static_cast<std::size_t>(n), DecodeCacheStats{});
+    }
+
+    std::unique_ptr<obs::ScopedStage> prof_assign;
+    if (profiler_) {
+      prof_assign = std::make_unique<obs::ScopedStage>(
+          profiler_, obs::Stage::kDispatchAssign);
     }
 
     // Pre-round state and admission transitions, in lane order. A paused
@@ -507,10 +543,12 @@ class PoolScheduler {
       assignments_[static_cast<std::size_t>(e)] = target;
       grant_[static_cast<std::size_t>(target)] = e;
     }
+    prof_assign.reset();
 
     // Lane-parallel execution; writes stay lane-local (shard-sequential
     // when the decode cache is on: see for_lanes).
     for_lanes(n, [&](int i) {
+      obs::ScopedStage prof(profiler_, obs::Stage::kLaneExecute);
       Lane& lane = lanes_[static_cast<std::size_t>(i)];
       const auto idx = static_cast<std::size_t>(i);
       if (finished_[idx]) return;
@@ -592,6 +630,7 @@ class PoolScheduler {
     });
 
     // Reductions in fixed lane/engine order on this thread.
+    obs::ScopedStage prof_reduce(profiler_, obs::Stage::kReduction);
     RoundSample sample;
     sample.round = round;
     bool real_push = false;
@@ -650,12 +689,23 @@ class PoolScheduler {
     telemetry_.timeline.push_back(sample);
     if (tracer_) trace_round_schedule(*tracer_, round, served_, sample.drain);
     if (metrics_) {
+      obs::ScopedStage prof_close(profiler_, obs::Stage::kTelemetryClose);
       metrics_->set_gauge(m_live_, sample.live_lanes);
       metrics_->set_gauge(m_paused_, sample.paused_lanes);
       metrics_->set_gauge(m_overflowed_, overflowed_so_far_);
+      feed_profile();
       metrics_->tick(round);
     }
     return true;
+  }
+
+  /// Flushes the trailing partial metrics window (feeding it the last
+  /// profile deltas first) — the run_stream epilogue.
+  void finish_metrics() {
+    if (!metrics_) return;
+    obs::ScopedStage prof_close(profiler_, obs::Stage::kTelemetryClose);
+    feed_profile();
+    metrics_->finish();
   }
 
  private:
@@ -686,6 +736,19 @@ class PoolScheduler {
                     after.zero_pushes - before.zero_pushes);
     metrics_->count(m_cache_bypasses_, after.bypasses - before.bypasses);
     lane.cache_consumed = after;
+  }
+
+  /// Feeds the wall-clock nanoseconds accrued since the previous feed into
+  /// the prof_* counters, so each metrics window carries its own share.
+  /// Scopes still open when this runs (the enclosing reduction, the
+  /// telemetry close itself) are attributed to the window open when they
+  /// end — wall-clock values are non-deterministic either way.
+  void feed_profile() {
+    if (!profiler_) return;
+    for (int s = 0; s < obs::kStageCount; ++s) {
+      metrics_->count(m_prof_[static_cast<std::size_t>(s)],
+                      profiler_->take_window_nanos(static_cast<obs::Stage>(s)));
+    }
   }
 
   /// The lane-parallel region: a plain parallel_for over lanes, unless the
@@ -721,6 +784,7 @@ class PoolScheduler {
   StreamTelemetry& telemetry_;
   obs::Tracer* const tracer_ = nullptr;            ///< null = tracing off
   obs::MetricsRegistry* const metrics_ = nullptr;  ///< null = metrics off
+  obs::Profiler* const profiler_ = nullptr;        ///< null = profiling off
   const int engines_;
   const int batch_;
   int overflowed_so_far_ = 0;
@@ -746,6 +810,7 @@ class PoolScheduler {
   int m_cache_zero_rounds_ = -1;
   int m_cache_zero_pushes_ = -1;
   int m_cache_bypasses_ = -1;
+  std::array<int, obs::kStageCount> m_prof_{};  ///< per-stage nanos counters
 
   std::vector<int> depth_;             // pre-round, for the policy view
   std::vector<std::uint8_t> finished_;
@@ -762,6 +827,63 @@ class PoolScheduler {
   std::vector<std::size_t> samples_after_;  // metrics: cumulative sojourn count
   std::vector<DecodeCacheStats> cache_after_;  // metrics: cumulative cache stats
 };
+
+std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string json_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+/// Configuration echo for the postmortem bundle: enough to rerun the
+/// exact scenario (the trace seed/shape plus every service knob).
+std::string stream_config_json(const StreamConfig& config, int trace_rounds,
+                               int engines) {
+  std::string out = "{";
+  out += "\"lanes\": " + std::to_string(config.lanes);
+  out += ", \"distance\": " + std::to_string(config.distance);
+  out += ", \"p\": " + json_double(config.p);
+  out += ", \"rounds\": " + std::to_string(config.rounds);
+  out += ", \"trace_rounds\": " + std::to_string(trace_rounds);
+  out += ", \"seed\": " + std::to_string(config.seed);
+  out += ", \"engine\": " + json_string(config.engine);
+  out += ", \"cycles_per_round\": " + json_double(config.cycles_per_round);
+  out += ", \"max_drain_rounds\": " + std::to_string(config.max_drain_rounds);
+  out += ", \"engines\": " + std::to_string(engines);
+  out += ", \"policy\": " + json_string(config.policy);
+  out += ", \"rounds_per_dispatch\": " +
+         std::to_string(config.rounds_per_dispatch);
+  out += ", \"admission\": " + json_string(config.admission);
+  out += ", \"budget_w\": " + json_double(config.budget_w);
+  out += ", \"cache\": " + json_string(config.cache);
+  out += ", \"threads\": " + std::to_string(config.threads);
+  out += ", \"obs\": {";
+  out += "\"trace\": ";
+  out += config.obs.trace ? "true" : "false";
+  out += ", \"trace_ring\": " + std::to_string(config.obs.trace_ring);
+  out += ", \"metrics\": ";
+  out += config.obs.metrics ? "true" : "false";
+  out += ", \"metrics_window\": " + std::to_string(config.obs.metrics_window);
+  out += ", \"profile\": ";
+  out += config.obs.profile ? "true" : "false";
+  out += ", \"slo\": " + json_string(config.obs.slo);
+  out += ", \"dump_dir\": " + json_string(config.obs.dump_dir);
+  out += "}}";
+  return out;
+}
 
 }  // namespace
 
@@ -792,15 +914,29 @@ SyndromeTrace record_trace(const StreamConfig& config) {
 }
 
 StreamOutcome run_stream(const SyndromeTrace& trace,
-                         const StreamConfig& config) {
+                         const StreamConfig& user_config) {
   const int n = trace.lanes();
   if (n < 1) throw std::invalid_argument("stream: trace has no lanes");
+  // Arming the flight recorder implies the recorders it dumps: a
+  // postmortem bundle without the event trace and the metrics heartbeat
+  // would be useless at triage time. Profiling and SLOs stay opt-in.
+  StreamConfig config = user_config;
+  if (!config.obs.dump_dir.empty()) {
+    config.obs.trace = true;
+    config.obs.metrics = true;
+  }
   // Resolve the engine, policy, and admission specs before any lane (or
   // thread) exists so a typo fails loudly up front.
   const QecoolConfig engine_config = online_engine_config(config.engine);
   const auto policy = make_scheduler_policy(config.policy);
   const AdmissionConfig admission = resolve_admission(
       parse_admission_spec(config.admission), engine_config.reg_depth);
+  // The SLO spec parses with the same up-front loudness; it implies a
+  // metrics registry (verdicts are a function of windowed metrics) and its
+  // window= option overrides the metrics window.
+  const bool slo_enabled = !config.obs.slo.empty();
+  obs::SloConfig slo_config;
+  if (slo_enabled) slo_config = obs::parse_slo_spec(config.obs.slo);
   // Decode-window memoization: config.cache overrides the engine spec's
   // cache block when present (also validated eagerly, before any lane
   // exists). record_trace engines bypass the cache, so treat that as off.
@@ -887,9 +1023,17 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
       lane.codel.set_obs_track(lane.track);    // CoDel arm/disarm events
     }
   }
-  if (config.obs.metrics) {
-    outcome.metrics = std::make_shared<obs::MetricsRegistry>(
-        std::max(1, config.obs.metrics_window));
+  if (config.obs.metrics || slo_enabled) {
+    int metrics_window = std::max(1, config.obs.metrics_window);
+    if (slo_enabled && slo_config.window > 0) metrics_window = slo_config.window;
+    outcome.metrics = std::make_shared<obs::MetricsRegistry>(metrics_window);
+  }
+  if (config.obs.profile) {
+    outcome.profiler = std::make_shared<obs::Profiler>(
+        static_cast<std::size_t>(std::max(1, config.obs.profile_ring)));
+    for (auto& lane : lanes) {
+      lane.stepper.set_profiler(outcome.profiler.get());  // kCache stage
+    }
   }
   outcome.telemetry.distance = static_cast<int>(trace.header().distance);
   outcome.telemetry.p = trace.header().p_data;
@@ -916,7 +1060,39 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
 
   PoolScheduler scheduler(lanes, *policy, engines, config, admission,
                           cache_layout, outcome.telemetry,
-                          outcome.tracer.get(), outcome.metrics.get());
+                          outcome.tracer.get(), outcome.metrics.get(),
+                          outcome.profiler.get());
+
+  // The SLO engine attaches after every other instrument is registered,
+  // so its slo_ok/slo_warning/slo_page counters are the trailing metrics
+  // columns; unknown objective metrics fail loudly here, before any round
+  // executes.
+  if (slo_enabled) {
+    outcome.slo = std::make_shared<obs::SloEngine>(slo_config);
+    outcome.slo->attach(*outcome.metrics,
+                        outcome.tracer ? &outcome.tracer->control() : nullptr);
+  }
+
+  // Arm the process-wide flight recorder before the first round so a
+  // mid-run SIGUSR1 (or a fatal-signal handler installed by the bench)
+  // can snapshot the live obs objects; the shared_ptr sources keep the
+  // bundle writable after this function returns.
+  const bool dump_armed = !config.obs.dump_dir.empty();
+  if (dump_armed) {
+    obs::PostmortemSources sources;
+    sources.tracer = outcome.tracer;
+    sources.metrics = outcome.metrics;
+    sources.profiler = outcome.profiler;
+    sources.slo = outcome.slo;
+    sources.config_json = stream_config_json(config, trace.rounds(), engines);
+    sources.dir = config.obs.dump_dir;
+    obs::FlightRecorder::instance().arm(std::move(sources));
+  }
+  const auto poll_dump_request = [dump_armed]() {
+    if (dump_armed && obs::FlightRecorder::take_dump_request()) {
+      obs::FlightRecorder::instance().dump("sigusr1");
+    }
+  };
 
   if (admission.pause()) {
     // Admission-controlled run: one round at a time, per-lane cursors.
@@ -926,6 +1102,7 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
     const std::int64_t max_rounds =
         static_cast<std::int64_t>(trace.rounds()) + config.max_drain_rounds;
     for (std::int64_t t = 0; t < max_rounds; ++t) {
+      poll_dump_request();
       if (!scheduler.dispatch_admission(t, trace)) break;
     }
   } else {
@@ -933,6 +1110,7 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
     // sees round t+1, mirroring syndrome arrival in hardware; the policy
     // grants engines round by round within each dispatch batch.
     for (std::int64_t t = 0; t < trace.rounds();) {
+      poll_dump_request();
       const int count = static_cast<int>(
           std::min<std::int64_t>(scheduler.batch(), trace.rounds() - t));
       scheduler.dispatch(t, count, /*drain=*/false, &trace);
@@ -943,6 +1121,7 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
     // drained, bounded by max_drain_rounds (QEC never stops in hardware).
     std::int64_t round = trace.rounds();
     for (int budget = config.max_drain_rounds; budget > 0;) {
+      poll_dump_request();
       bool any_active = false;
       for (const auto& lane : lanes) any_active |= !lane.finished();
       if (!any_active) break;
@@ -957,6 +1136,7 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
   // in the parallel region: it is per-lane work too).
   const bool pause_mode = admission.pause();
   parallel_for(n, config.threads, [&](int i) {
+    obs::ScopedStage prof(outcome.profiler.get(), obs::Stage::kLaneExecute);
     Lane& lane = lanes[static_cast<std::size_t>(i)];
     const OnlineResult result = lane.stepper.result();
     LaneTelemetry& t = lane.telemetry;
@@ -1000,7 +1180,7 @@ StreamOutcome run_stream(const SyndromeTrace& trace,
   for (const auto& lane : outcome.telemetry.lanes) {
     outcome.logical_failures += lane.logical_failure ? 1 : 0;
   }
-  if (outcome.metrics) outcome.metrics->finish();
+  scheduler.finish_metrics();  // flush the trailing partial window
   return outcome;
 }
 

@@ -39,6 +39,8 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "stream/telemetry.hpp"
 #include "stream/trace.hpp"
@@ -62,6 +64,25 @@ struct StreamObsConfig {
   /// Rounds per metrics window (counters are window deltas, gauges are
   /// sampled at window close, histograms reset per window).
   int metrics_window = 64;
+  /// Wall-clock self-profiling (obs/profile.hpp, StreamOutcome::profiler).
+  /// The ONE obs feature exempt from the determinism contract: its CSV,
+  /// its prof_* metrics columns, and the pid-4 Chrome-trace track measure
+  /// real time. Outcomes are untouched — timing is observed, never
+  /// consulted — and with this off (the default) every export stays
+  /// byte-identical.
+  bool profile = false;
+  /// Per-thread wall-sample ring capacity (flight-recorder semantics).
+  int profile_ring = 1 << 13;
+  /// SLO spec, parse_slo_spec() grammar — e.g. "sojourn_p99<8,window=256"
+  /// (obs/slo.hpp). Non-empty implies a metrics registry; its `window=`
+  /// option overrides metrics_window. Verdicts derive only from windowed
+  /// metrics, so they are thread-count invariant.
+  std::string slo;
+  /// Postmortem flight-recorder bundle directory (obs/postmortem.hpp).
+  /// Non-empty arms the process-wide FlightRecorder with this run's obs
+  /// objects; SIGUSR1 (when the bench installed handlers) or an explicit
+  /// FlightRecorder::dump() writes the bundle there.
+  std::string dump_dir;
 };
 
 struct StreamConfig {
@@ -150,6 +171,12 @@ struct StreamOutcome {
   /// Populated when config.obs.metrics: the closed-window time series
   /// (MetricsRegistry::write_csv serializes it).
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Populated when config.obs.profile: per-stage wall-clock totals
+  /// (explicitly non-deterministic; Profiler::write_csv serializes it).
+  std::shared_ptr<obs::Profiler> profiler;
+  /// Populated when config.obs.slo is non-empty: burn-rate verdicts and
+  /// the compliance summary (SloEngine::write_csv / summary_json).
+  std::shared_ptr<obs::SloEngine> slo;
 };
 
 /// Samples one memory-experiment history per lane (independent per-lane

@@ -150,16 +150,17 @@ TEST(MetricsRegistry, WindowsCountersGaugesAndHistograms) {
   std::string line;
   std::getline(lines, line);
   EXPECT_EQ(line,
-            "window,round_first,round_last,rounds,pushes,live,"
+            "window,round_first,round_last,rounds,partial,pushes,live,"
             "depth_count,depth_p50,depth_p95,depth_p99,depth_max");
   std::getline(lines, line);
-  EXPECT_EQ(line, "0,0,3,4,4,3,4,2,4,4,4");
+  EXPECT_EQ(line, "0,0,3,4,0,4,3,4,2,4,4,4");
   std::getline(lines, line);
-  EXPECT_EQ(line, "1,4,7,4,4,7,4,6,8,8,8");
+  EXPECT_EQ(line, "1,4,7,4,0,4,7,4,6,8,8,8");
   std::getline(lines, line);
   // Counters are per-window deltas and histograms reset per window: the
-  // partial 2-round window reports 2 of each, not cumulative totals.
-  EXPECT_EQ(line, "2,8,9,2,2,9,2,9,10,10,10");
+  // trailing 2-round window reports 2 of each, not cumulative totals —
+  // and carries partial=1 because finish() flushed it before it filled.
+  EXPECT_EQ(line, "2,8,9,2,1,2,9,2,9,10,10,10");
 }
 
 StreamConfig bursty_config() {

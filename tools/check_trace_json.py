@@ -13,15 +13,41 @@ Usage: tools/check_trace_json.py trace.json [trace2.json ...]
 
 Checks per event: "ph"/"ts"/"pid"/"tid"/"name" present, "ph" in the known
 set, "ts" numeric and >= 0, "dur" >= 0 on "X" events, instants carry
-"s". Checks per (pid, tid) track: timestamps nondecreasing. Unbalanced
-"B"/"E" pairs are reported as warnings only — a ring that dropped its
-oldest events can legitimately orphan an "E".
+"s". Checks per (pid, tid) track: timestamps nondecreasing. "slo" events
+(the SLO burn-rate state transitions) must carry an integer objective
+index and a known state name. The wall-clock profiler process (detected
+via its process_name metadata containing "wall") may hold only complete
+"X" slices, each flagged args.wall_clock=true.
+
+Unbalanced "B"/"E" pairs are warnings when the trace_ring_stats metadata
+reports dropped events (a ring that overwrote its oldest events can
+legitimately orphan an "E") — but hard errors when dropped == 0, because
+then every emitted span must balance.
 """
 import json
 import sys
 
 REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
 KNOWN_PHASES = {"B", "E", "X", "i", "M", "C"}
+SLO_STATES = {"ok", "warning", "page"}
+
+
+def scan_metadata(events):
+    """First pass: wall-clock pids and the ring's dropped-event count."""
+    wall_pids = set()
+    ring_dropped = None
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") != "M":
+            continue
+        args = event.get("args")
+        if not isinstance(args, dict):
+            continue
+        if (event.get("name") == "process_name"
+                and "wall" in str(args.get("name", "")).lower()):
+            wall_pids.add(event.get("pid"))
+        if event.get("name") == "trace_ring_stats":
+            ring_dropped = args.get("dropped")
+    return wall_pids, ring_dropped
 
 
 def check_events(events, label):
@@ -29,6 +55,9 @@ def check_events(events, label):
     warnings = []
     last_ts = {}
     open_spans = {}
+    wall_pids, ring_dropped = scan_metadata(events)
+    # A lossless ring (dropped == 0) cannot legitimately orphan a span.
+    strict_spans = ring_dropped == 0
     for i, event in enumerate(events):
         where = f"{label}: traceEvents[{i}]"
         if not isinstance(event, dict):
@@ -50,14 +79,42 @@ def check_events(events, label):
             errors.append(f"{where} 'ts' is negative ({ts})")
         if ph == "M":
             continue  # metadata carries no timeline semantics
+        if event["pid"] in wall_pids and ph != "X":
+            errors.append(
+                f"{where} phase '{ph}' on the wall-clock profiler track "
+                f"(pid={event['pid']}); only complete 'X' slices belong "
+                "there")
         if ph == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or isinstance(dur, bool):
                 errors.append(f"{where} 'X' event without numeric 'dur'")
             elif dur < 0:
                 errors.append(f"{where} negative 'dur' ({dur})")
+            if event["pid"] in wall_pids:
+                args = event.get("args")
+                if not isinstance(args, dict) or args.get(
+                        "wall_clock") is not True:
+                    errors.append(
+                        f"{where} wall-clock slice without "
+                        "args.wall_clock=true")
         if ph == "i" and "s" not in event:
             errors.append(f"{where} instant without scope 's'")
+        if event["name"] == "slo":
+            args = event.get("args")
+            if not isinstance(args, dict):
+                errors.append(f"{where} 'slo' event without args")
+            else:
+                objective = args.get("objective")
+                if not isinstance(objective, int) or isinstance(
+                        objective, bool):
+                    errors.append(
+                        f"{where} 'slo' event without integer "
+                        "args.objective")
+                state = args.get("state")
+                if state not in SLO_STATES:
+                    errors.append(
+                        f"{where} 'slo' event state {state!r} not in "
+                        f"{sorted(SLO_STATES)}")
         track = (event["pid"], event["tid"])
         if track in last_ts and ts < last_ts[track]:
             errors.append(
@@ -70,14 +127,22 @@ def check_events(events, label):
             if open_spans.get(track, 0) > 0:
                 open_spans[track] -= 1
             else:
-                warnings.append(
+                message = (
                     f"{where} 'E' with no open 'B' on track pid={track[0]} "
-                    f"tid={track[1]} (ring drop?)")
+                    f"tid={track[1]}")
+                if strict_spans:
+                    errors.append(message + " (ring reports 0 drops)")
+                else:
+                    warnings.append(message + " (ring drop?)")
     for (pid, tid), depth in sorted(open_spans.items()):
         if depth > 0:
-            warnings.append(
+            message = (
                 f"{label}: {depth} unclosed 'B' span(s) on track pid={pid} "
                 f"tid={tid}")
+            if strict_spans:
+                errors.append(message + " (ring reports 0 drops)")
+            else:
+                warnings.append(message)
     return errors, warnings
 
 

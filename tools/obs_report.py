@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Triage renderer for postmortem flight-recorder bundles (stdlib only).
+
+The streaming service's FlightRecorder (src/obs/postmortem.hpp) dumps an
+obs bundle — manifest.json, config.json, trace.json, metrics.csv,
+last_window.csv, profile.csv, slo.csv — when a run dies or is asked to
+(--dump-obs-on-exit, SIGUSR1). This tool turns a bundle directory into
+the first page of a postmortem: why the dump happened, what the run was,
+the last metrics heartbeat, where the wall-clock went, and which SLO
+objectives were burning.
+
+Usage: tools/obs_report.py BUNDLE_DIR
+
+Exits 0 when the bundle is readable and internally consistent (every
+manifest-listed file present and parseable), 1 otherwise. CI dumps a
+bundle in its stream_soak smoke and runs this over it.
+"""
+import csv
+import json
+import os
+import sys
+
+
+def fail(message):
+    print(f"obs_report: {message}", file=sys.stderr)
+    return 1
+
+
+def read_csv(path):
+    with open(path, encoding="utf-8", newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def render_config(config):
+    print("run configuration:")
+    obs = config.pop("obs", {})
+    keys = ", ".join(f"{k}={v}" for k, v in config.items())
+    print(f"  {keys}")
+    if obs:
+        print("  obs: " + ", ".join(f"{k}={v}" for k, v in obs.items()))
+
+
+def render_last_window(rows):
+    if not rows:
+        print("last metrics window: (empty)")
+        return
+    row = rows[-1]
+    span = f"rounds {row.get('round_first')}..{row.get('round_last')}"
+    partial = " (partial)" if row.get("partial") == "1" else ""
+    print(f"last metrics window #{row.get('window')}, {span}{partial}:")
+    skip = {"window", "round_first", "round_last", "rounds", "partial"}
+    cells = [f"{k}={v}" for k, v in row.items() if k not in skip and v != "0"]
+    for start in range(0, len(cells), 6):
+        print("  " + ", ".join(cells[start:start + 6]))
+
+
+def render_profile(rows):
+    if not rows:
+        print("wall-clock profile: (empty)")
+        return
+    print("wall-clock profile (non-deterministic by design):")
+    total = sum(int(r["total_ns"]) for r in rows) or 1
+    for row in sorted(rows, key=lambda r: -int(r["total_ns"])):
+        ns = int(row["total_ns"])
+        print(f"  {row['stage']:<16} {ns / 1e6:10.3f} ms"
+              f"  ({100.0 * ns / total:5.1f}%  of labelled time,"
+              f" {row['calls']} calls)")
+
+
+def render_slo(manifest_slo, verdict_rows):
+    if not manifest_slo:
+        print("slo: (not configured)")
+        return
+    print(f"slo '{manifest_slo.get('spec')}' — worst state "
+          f"{manifest_slo.get('worst_state')}, compliant: "
+          f"{manifest_slo.get('compliant')}")
+    for objective in manifest_slo.get("objectives", []):
+        print(f"  {objective.get('spec'):<24} {objective.get('final_state'):<8}"
+              f" {objective.get('violations')}/{objective.get('windows')}"
+              f" bad windows, {objective.get('pages')} paged,"
+              f" {objective.get('warnings')} warned")
+    # The last few verdicts are the burn trajectory going into the dump.
+    tail = verdict_rows[-6:]
+    if tail:
+        print("  last verdicts (window: value op threshold -> state):")
+        for row in tail:
+            print(f"    #{row['window']:>4}: {row['metric']}={row['value']} "
+                  f"{row['op']} {row['threshold']} -> {row['state']}")
+
+
+def render_trace(path, manifest):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    events = doc.get("traceEvents", [])
+    phases = {}
+    for event in events:
+        phases[event.get("ph")] = phases.get(event.get("ph"), 0) + 1
+    ring = manifest.get("trace", {})
+    print(f"trace: {len(events)} exported events "
+          f"({ring.get('emitted', '?')} emitted, "
+          f"{ring.get('dropped', '?')} dropped by the rings); phases " +
+          ", ".join(f"{k}:{v}" for k, v in sorted(phases.items())))
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: obs_report.py BUNDLE_DIR", file=sys.stderr)
+        return 2
+    bundle = argv[1]
+    manifest_path = os.path.join(bundle, "manifest.json")
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(f"cannot read {manifest_path}: {err}")
+
+    print(f"==== obs bundle: {bundle} ====")
+    print(f"dump reason: {manifest.get('reason', '(missing)')}")
+    files = manifest.get("files", [])
+    missing = [f for f in files if not os.path.exists(os.path.join(bundle, f))]
+    if missing:
+        return fail(f"manifest lists missing file(s): {missing}")
+    print(f"files: {', '.join(files)}")
+    print()
+
+    try:
+        if "config.json" in files:
+            with open(os.path.join(bundle, "config.json"),
+                      encoding="utf-8") as handle:
+                render_config(json.load(handle))
+        if "trace.json" in files:
+            render_trace(os.path.join(bundle, "trace.json"), manifest)
+        windows = manifest.get("metrics_windows")
+        if windows is not None:
+            print(f"metrics: {windows} closed window(s)")
+        if "last_window.csv" in files:
+            render_last_window(read_csv(os.path.join(bundle,
+                                                     "last_window.csv")))
+        if "profile.csv" in files:
+            render_profile(read_csv(os.path.join(bundle, "profile.csv")))
+        verdicts = (read_csv(os.path.join(bundle, "slo.csv"))
+                    if "slo.csv" in files else [])
+        render_slo(manifest.get("slo"), verdicts)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as err:
+        return fail(f"bundle file unreadable: {err!r}")
+    print()
+    print("obs_report: bundle OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
